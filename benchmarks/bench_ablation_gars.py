@@ -1,0 +1,104 @@
+"""Ablation — choice of GAR inside the SSMW application.
+
+Not a paper figure, but an ablation DESIGN.md calls out: with the deployment
+held fixed, how does the choice of aggregation rule trade off (a) robustness
+under an attack, (b) aggregation cost and (c) convergence without attacks?
+This quantifies the Section 3.1 guidance (use Bulyan in high dimension under a
+strong adversary, Median/MDA when the variance condition allows it, Average
+only when nothing is Byzantine).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_training
+
+from repro.aggregators import init
+from repro.network.cost import CPU, CostModel
+
+GARS = ["average", "median", "multi-krum", "mda", "bulyan", "trimmed-mean", "geometric-median", "meamed"]
+ITERATIONS = 25
+
+
+def minimum_cluster(gar: str, f: int) -> int:
+    return init(gar, n=64, f=f).minimum_inputs(f)
+
+
+def test_ablation_gar_choice(benchmark, table_printer):
+    """Accuracy with/without attack plus modelled aggregation cost, per GAR."""
+    f = 1
+    cost_model = CostModel(device=CPU)
+    rows = []
+    results = {}
+    for gar in GARS:
+        workers = max(7, minimum_cluster(gar, f))
+        clean = run_training(
+            deployment="ssmw",
+            gradient_gar=gar,
+            num_workers=workers,
+            num_byzantine_workers=f,
+            num_attacking_workers=0,
+            num_iterations=ITERATIONS,
+            seed=11,
+        )
+        attacked = run_training(
+            deployment="ssmw",
+            gradient_gar=gar,
+            num_workers=workers,
+            num_byzantine_workers=f,
+            num_attacking_workers=f,
+            worker_attack="reversed",
+            num_iterations=ITERATIONS,
+            seed=11,
+        )
+        aggregation_cost = cost_model.aggregation_time(init(gar, n=workers, f=f), 23_539_850)
+        results[gar] = (clean.final_accuracy, attacked.final_accuracy, aggregation_cost)
+        rows.append((gar, workers, clean.final_accuracy, attacked.final_accuracy, aggregation_cost))
+
+    table_printer(
+        "Ablation — GAR choice inside SSMW (f=1, reversed-vector attack)",
+        ["GAR", "workers", "accuracy (no attack)", "accuracy (attack)", "agg cost @ ResNet-50 (s)"],
+        rows,
+    )
+
+    # Averaging collapses under the attack; every robust GAR keeps learning.
+    assert results["average"][1] < 0.35
+    for gar in GARS:
+        if gar == "average":
+            continue
+        assert results[gar][1] > 0.5, gar
+        assert results[gar][0] > 0.5, gar
+    # The robustness comes at an aggregation-cost premium for the Krum family.
+    assert results["multi-krum"][2] > results["median"][2]
+    assert results["bulyan"][2] > results["median"][2]
+
+    benchmark(lambda: init("bulyan", n=11, f=2))
+
+
+def test_ablation_declared_f_margin(benchmark, table_printer):
+    """Over-declaring f (safety margin) versus exactly matching the attackers."""
+    rows = []
+    accuracies = {}
+    for declared in [1, 2, 3]:
+        result = run_training(
+            deployment="ssmw",
+            gradient_gar="multi-krum",
+            num_workers=9,
+            num_byzantine_workers=declared,
+            num_attacking_workers=1,
+            worker_attack="reversed",
+            num_iterations=ITERATIONS,
+            seed=13,
+        )
+        accuracies[declared] = result.final_accuracy
+        rows.append((declared, result.final_accuracy, result.throughput))
+    table_printer(
+        "Ablation — declared f_w with a single actual attacker (SSMW, Multi-Krum)",
+        ["declared f_w", "final accuracy", "throughput (updates/s)"],
+        rows,
+    )
+
+    # Over-declaring f keeps the deployment safe (it only wastes a little data).
+    for declared, accuracy in accuracies.items():
+        assert accuracy > 0.5, declared
+
+    benchmark(lambda: init("multi-krum", n=9, f=3))

@@ -1,0 +1,83 @@
+"""Figure 11 (appendix) — convergence over wall-clock time.
+
+The appendix replots Figure 4 against (simulated) time instead of iterations,
+combining convergence rate with throughput: vanilla converges fastest, the
+crash-tolerant protocol is slower, and the Byzantine-resilient deployments are
+slower still (while AggregaThor sits between vanilla and Garfield).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_training
+
+ITERATIONS = 30
+
+
+def time_to_reach(result, target):
+    """Simulated seconds needed to first reach the target accuracy (inf if never)."""
+    for elapsed, accuracy in result.metrics.accuracy_over_time():
+        if accuracy >= target:
+            return elapsed
+    return float("inf")
+
+
+def test_fig11a_convergence_over_time_cpu(benchmark, table_printer):
+    """Figure 11a: accuracy-vs-time ordering of the CPU deployments."""
+    results = {
+        "TensorFlow (vanilla)": run_training(deployment="vanilla", num_byzantine_workers=0, num_iterations=ITERATIONS),
+        "AggregaThor": run_training(deployment="aggregathor", num_iterations=ITERATIONS),
+        "Crash-tolerant": run_training(
+            deployment="crash-tolerant", num_byzantine_workers=0, num_servers=3, num_iterations=ITERATIONS
+        ),
+        "Garfield (MSMW)": run_training(
+            deployment="msmw", num_servers=3, num_byzantine_servers=1, num_workers=7, num_iterations=ITERATIONS
+        ),
+    }
+
+    rows = []
+    target = 0.5
+    reach = {}
+    for label, result in results.items():
+        reach[label] = time_to_reach(result, target)
+        rows.append(
+            (label, result.final_accuracy, result.metrics.total_time, reach[label])
+        )
+    table_printer(
+        "Figure 11a — convergence over simulated time (CPU)",
+        ["system", "final accuracy", "total time (s)", f"time to {target:.0%} acc (s)"],
+        rows,
+    )
+
+    # Vanilla reaches the target accuracy first; the fault-tolerant systems pay
+    # a time penalty even when their per-iteration convergence matches.
+    assert reach["TensorFlow (vanilla)"] <= reach["Crash-tolerant"]
+    assert reach["TensorFlow (vanilla)"] <= reach["Garfield (MSMW)"]
+    # The Byzantine-resilient deployment is not faster than the crash-tolerant one.
+    assert reach["Garfield (MSMW)"] >= reach["Crash-tolerant"] * 0.9
+
+    benchmark(lambda: time_to_reach(results["Garfield (MSMW)"], target))
+
+
+def test_fig11b_fault_tolerance_time_penalty(benchmark, table_printer):
+    """Figure 11b: even crash tolerance costs a multiple of vanilla's time."""
+    vanilla = run_training(deployment="vanilla", num_byzantine_workers=0, num_iterations=ITERATIONS)
+    crash = run_training(
+        deployment="crash-tolerant", num_byzantine_workers=0, num_servers=3, num_iterations=ITERATIONS
+    )
+    msmw = run_training(
+        deployment="msmw", num_servers=3, num_byzantine_servers=1, num_workers=7, num_iterations=ITERATIONS
+    )
+
+    rows = [
+        ("PyTorch (vanilla)", vanilla.metrics.total_time),
+        ("Crash-tolerant", crash.metrics.total_time),
+        ("Garfield (MSMW)", msmw.metrics.total_time),
+    ]
+    table_printer("Figure 11b — total time for the same number of iterations (s)", ["system", "time"], rows)
+
+    # Crash tolerance costs a non-negligible multiple of vanilla's time, and
+    # Byzantine resilience costs more still (but not dramatically more).
+    assert crash.metrics.total_time > 1.2 * vanilla.metrics.total_time
+    assert msmw.metrics.total_time > crash.metrics.total_time
+
+    benchmark(lambda: vanilla.metrics.total_time)

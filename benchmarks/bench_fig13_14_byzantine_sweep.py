@@ -1,0 +1,85 @@
+"""Figures 13 and 14 (appendix) — Garfield throughput vs f_w and f_ps on CPU and GPU.
+
+Figure 13 fixes the number of workers and sweeps the number of declared
+Byzantine workers: throughput decreases only slightly (more replies must be
+awaited, i.e. a larger quorum in the asynchronous variant).  Figure 14 sweeps
+the number of declared Byzantine servers, which forces more server replicas
+and hence more communication links: throughput drops, but by less than ~45%,
+and the degradation ratio is similar on CPUs and GPUs.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.apps.throughput import ThroughputModel
+
+DEVICES = [("cpu", "tensorflow", 18, 6), ("gpu", "pytorch", 10, 3)]
+
+
+def build(device, framework, num_workers, num_byzantine_workers, num_servers, num_byzantine_servers):
+    return ThroughputModel(
+        model="resnet50",
+        device=device,
+        framework=framework,
+        num_workers=num_workers,
+        num_byzantine_workers=num_byzantine_workers,
+        num_servers=num_servers,
+        num_byzantine_servers=num_byzantine_servers,
+        gradient_gar="multi-krum",
+        model_gar="median",
+        asynchronous=True,
+    )
+
+
+def test_fig13_byzantine_workers_sweep(benchmark, table_printer):
+    """Figure 13: Garfield throughput vs f_w on the CPU and GPU clusters."""
+    rows = []
+    series = {}
+    for device, framework, nw, nps in DEVICES:
+        for f in [0, 1, 2, 3]:
+            updates = 1.0 / build(device, framework, nw, f, nps, 1).breakdown("msmw").total
+            series[(device, f)] = updates
+            rows.append((device, f, updates))
+    table_printer("Figures 13a/13b — Garfield throughput (updates/s) vs f_w", ["device", "f_w", "updates/s"], rows)
+
+    for device, _, _, _ in DEVICES:
+        values = [series[(device, f)] for f in [0, 1, 2, 3]]
+        # Throughput barely moves with more declared Byzantine workers: the
+        # communication cost is fixed by n_w, only the quorum/aggregation
+        # sizes change slightly.
+        assert (max(values) - min(values)) / max(values) < 0.15
+    # GPU throughput is higher than CPU throughput at every f_w.
+    for f in [0, 1, 2, 3]:
+        assert series[("gpu", f)] > series[("cpu", f)]
+
+    benchmark(lambda: build("cpu", "tensorflow", 18, 3, 6, 1).breakdown("msmw"))
+
+
+def test_fig14_byzantine_servers_sweep(benchmark, table_printer):
+    """Figure 14: Garfield throughput vs f_ps on the CPU and GPU clusters."""
+    rows = []
+    series = {}
+    for device, framework, nw, _ in DEVICES:
+        for f in [0, 1, 2, 3]:
+            nps = max(2, 3 * f + 1)
+            updates = 1.0 / build(device, framework, nw, 3, nps, f).breakdown("msmw").total
+            series[(device, f)] = updates
+            rows.append((device, f, nps, updates))
+    table_printer(
+        "Figures 14a/14b — Garfield throughput (updates/s) vs f_ps",
+        ["device", "f_ps", "n_ps", "updates/s"],
+        rows,
+    )
+
+    drops = {}
+    for device, _, _, _ in DEVICES:
+        values = [series[(device, f)] for f in [0, 1, 2, 3]]
+        assert all(values[i] >= values[i + 1] for i in range(3))
+        drops[device] = (values[0] - values[-1]) / values[0]
+        assert drops[device] < 0.6
+    # The degradation ratio is similar on CPUs and GPUs (the drop is driven by
+    # the added communication links, not by the device).
+    assert abs(drops["cpu"] - drops["gpu"]) < 0.25
+
+    benchmark(lambda: build("gpu", "pytorch", 10, 3, 10, 3).breakdown("msmw"))

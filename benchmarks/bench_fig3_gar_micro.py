@@ -1,0 +1,104 @@
+"""Figure 3 — micro-benchmark of the GAR implementations.
+
+Figure 3a sweeps the number of inputs ``n`` at fixed dimension; Figure 3b
+sweeps the dimension ``d`` at ``n = 17``.  The paper uses ``d = 1e7`` on two
+GPUs; the sweep below uses real wall-clock timing of the numpy
+implementations at dimensions scaled down to ``1e6`` so the benchmark stays
+within a laptop's memory budget — the scaling behaviour (quadratic in ``n``
+for Krum-family rules, linear in ``d`` for everyone) is what the figure is
+about and is preserved.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from conftest import print_table
+
+from repro.aggregators import init
+
+GARS = ["average", "median", "multi-krum", "mda", "bulyan"]
+N_SWEEP = [7, 11, 15, 19, 23]
+D_SWEEP = [10_000, 100_000, 1_000_000]
+FIXED_D = 1_000_000
+FIXED_N = 17
+
+
+def declared_f(n: int) -> int:
+    """f = floor((n - 3) / 4), as in the paper's micro-benchmark."""
+    return max(0, (n - 3) // 4)
+
+
+def time_aggregation(name: str, n: int, d: int, repeats: int = 3, seed: int = 0) -> float:
+    rng = np.random.default_rng(seed)
+    vectors = [rng.normal(size=d) for _ in range(n)]
+    gar = init(name, n=n, f=declared_f(n))
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        gar.aggregate(vectors)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_fig3a_aggregation_time_vs_inputs(benchmark, table_printer):
+    """Figure 3a: aggregation time as a function of the number of inputs n."""
+    rows = []
+    timings = {}
+    for n in N_SWEEP:
+        row = [n]
+        for name in GARS:
+            seconds = time_aggregation(name, n, FIXED_D)
+            timings[(name, n)] = seconds
+            row.append(seconds)
+        rows.append(row)
+    table_printer("Figure 3a — aggregation time (s) vs n (d=1e6)", ["n"] + GARS, rows)
+
+    # Shape checks: Average is the cheapest; Krum-family grows superlinearly in n.
+    for n in N_SWEEP:
+        assert timings[("average", n)] <= min(timings[(g, n)] for g in GARS) * 1.5
+    assert timings[("multi-krum", 23)] > timings[("multi-krum", 7)]
+    assert timings[("bulyan", 23)] > timings[("bulyan", 7)]
+
+    # Representative unit for pytest-benchmark: Multi-Krum at the largest n.
+    rng = np.random.default_rng(2)
+    vectors = [rng.normal(size=100_000) for _ in range(N_SWEEP[-1])]
+    gar = init("multi-krum", n=N_SWEEP[-1], f=declared_f(N_SWEEP[-1]))
+    benchmark(gar.aggregate, vectors)
+
+
+def test_fig3b_aggregation_time_vs_dimension(benchmark, table_printer):
+    """Figure 3b: aggregation time as a function of the input dimension d."""
+    rows = []
+    timings = {}
+    for d in D_SWEEP:
+        row = [d]
+        for name in GARS:
+            seconds = time_aggregation(name, FIXED_N, d)
+            timings[(name, d)] = seconds
+            row.append(seconds)
+        rows.append(row)
+    table_printer("Figure 3b — aggregation time (s) vs d (n=17)", ["d"] + GARS, rows)
+
+    # Shape check: every GAR's cost grows roughly linearly with d (within 4x of
+    # proportionality over two orders of magnitude).
+    for name in GARS:
+        growth = timings[(name, 1_000_000)] / max(timings[(name, 10_000)], 1e-9)
+        assert growth > 5.0
+
+    # Representative unit for pytest-benchmark: Median at the largest dimension.
+    rng = np.random.default_rng(3)
+    vectors = [rng.normal(size=D_SWEEP[-1]) for _ in range(FIXED_N)]
+    gar = init("median", n=FIXED_N, f=declared_f(FIXED_N))
+    benchmark(gar.aggregate, vectors)
+
+
+@pytest.mark.parametrize("name", GARS)
+def test_fig3_benchmark_single_point(benchmark, name):
+    """pytest-benchmark timing of each GAR at the paper's n=17 operating point."""
+    rng = np.random.default_rng(1)
+    vectors = [rng.normal(size=100_000) for _ in range(FIXED_N)]
+    gar = init(name, n=FIXED_N, f=declared_f(FIXED_N))
+    benchmark(gar.aggregate, vectors)

@@ -1,0 +1,111 @@
+"""Figure 4 — convergence of Garfield applications versus the baselines.
+
+Figure 4a trains CifarNet on the TensorFlow/CPU systems (including
+AggregaThor); Figure 4b trains ResNet-50 on the PyTorch/GPU systems.  The
+in-process reproduction trains the scaled-down substitutes on a synthetic
+CIFAR-10-shaped dataset; the series reported is accuracy per training
+iteration for every deployment, and the shape checks assert the paper's
+qualitative findings (everyone converges without attacks, the Byzantine
+deployments never end up far above the vanilla one).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_training
+
+ITERATIONS = 40
+
+DEPLOYMENTS_4A = {
+    "vanilla (TensorFlow)": dict(deployment="vanilla", num_byzantine_workers=0),
+    "AggregaThor": dict(deployment="aggregathor"),
+    "Crash-tolerant": dict(deployment="crash-tolerant", num_byzantine_workers=0, num_servers=3),
+    "SSMW": dict(deployment="ssmw"),
+    "MSMW": dict(
+        deployment="msmw", num_servers=3, num_byzantine_servers=1, num_workers=7
+    ),
+    "Decentralized": dict(
+        deployment="decentralized",
+        num_servers=0,
+        gradient_gar="median",
+        num_workers=6,
+    ),
+}
+
+
+def _run_all(device: str, framework: str, model: str, seed: int):
+    results = {}
+    for label, overrides in DEPLOYMENTS_4A.items():
+        results[label] = run_training(
+            device=device,
+            framework=framework,
+            model=model,
+            num_iterations=ITERATIONS,
+            accuracy_every=5,
+            seed=seed,
+            **overrides,
+        )
+    return results
+
+
+def _print_series(title, results, printer):
+    iterations = sorted({i for r in results.values() for i, _ in r.accuracy_history})
+    rows = []
+    for label, result in results.items():
+        accuracy = dict(result.accuracy_history)
+        rows.append([label] + [accuracy.get(i, "") for i in iterations])
+    printer(title, ["system"] + [f"iter {i}" for i in iterations], rows)
+
+
+def test_fig4a_convergence_cpu_tensorflow(benchmark, table_printer):
+    """Figure 4a: accuracy vs training iterations, CPU / TensorFlow systems."""
+    results = _run_all(device="cpu", framework="tensorflow", model="logistic", seed=42)
+    _print_series("Figure 4a — convergence (CPU, TensorFlow substitute)", results, table_printer)
+
+    finals = {label: r.final_accuracy for label, r in results.items()}
+    # Everyone learns something without attacks.
+    assert all(acc > 0.4 for acc in finals.values())
+    # Byzantine-resilient deployments do not end up far above vanilla.
+    assert finals["SSMW"] <= finals["vanilla (TensorFlow)"] + 0.15
+    assert finals["MSMW"] <= finals["vanilla (TensorFlow)"] + 0.15
+
+    # Representative unit: one SSMW training run of a single iteration.
+    deployment_result = results["SSMW"]
+    benchmark.pedantic(
+        lambda: run_training(deployment="ssmw", num_iterations=1, accuracy_every=1, seed=1, dataset_size=200),
+        rounds=3,
+        iterations=1,
+    )
+    assert deployment_result.throughput > 0
+
+
+def test_fig4b_convergence_gpu_pytorch(benchmark, table_printer):
+    """Figure 4b: accuracy vs epochs, GPU / PyTorch systems (no AggregaThor)."""
+    results = {
+        label: result
+        for label, result in _run_all(
+            device="gpu", framework="pytorch", model="logistic", seed=43
+        ).items()
+        if label != "AggregaThor"
+    }
+    _print_series("Figure 4b — convergence (GPU, PyTorch substitute)", results, table_printer)
+
+    finals = {label: r.final_accuracy for label, r in results.items()}
+    assert all(acc > 0.4 for acc in finals.values())
+    # The crash-tolerant deployment tracks vanilla accuracy closely (no loss),
+    # which is the contrast the paper draws against the Byzantine deployments.
+    assert abs(finals["Crash-tolerant"] - finals["vanilla (TensorFlow)"]) < 0.15
+
+    benchmark.pedantic(
+        lambda: run_training(
+            deployment="msmw",
+            num_servers=3,
+            num_byzantine_servers=1,
+            num_workers=7,
+            num_iterations=1,
+            accuracy_every=1,
+            seed=2,
+            dataset_size=200,
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,71 @@
+"""Figure 5 — tolerance to Byzantine attacks (random and reversed vectors).
+
+The paper trains CifarNet with 11 workers and 3 servers, 1 Byzantine node on
+each side, for 20 epochs, and shows that the vanilla and crash-tolerant
+deployments fail to learn under both attacks while MSMW converges normally.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_table, run_training
+
+ATTACKS = ["random", "reversed"]
+ITERATIONS = 35
+
+
+def run_under_attack(deployment: str, attack: str, **overrides):
+    base = dict(
+        num_workers=7,
+        num_byzantine_workers=1,
+        num_attacking_workers=1,
+        worker_attack=attack,
+        num_iterations=ITERATIONS,
+        accuracy_every=5,
+        seed=17,
+    )
+    base.update(overrides)
+    return run_training(deployment=deployment, **base)
+
+
+@pytest.mark.parametrize("attack", ATTACKS)
+def test_fig5_attack_tolerance(benchmark, table_printer, attack):
+    """Figure 5a/5b: accuracy under the random-vector / reversed-vector attack."""
+    vanilla = run_under_attack("vanilla", attack)
+    crash = run_under_attack("crash-tolerant", attack, num_servers=3)
+    msmw = run_under_attack(
+        "msmw",
+        attack,
+        num_servers=4,
+        num_byzantine_servers=1,
+        num_attacking_servers=1,
+        server_attack=attack,
+    )
+
+    rows = [
+        ("PyTorch (vanilla)", vanilla.final_accuracy),
+        ("Crash-tolerant", crash.final_accuracy),
+        ("MSMW (Garfield)", msmw.final_accuracy),
+    ]
+    table_printer(f"Figure 5 — final accuracy under the '{attack}' attack", ["system", "accuracy"], rows)
+
+    # The paper's finding: only the Byzantine-resilient deployment learns.
+    assert msmw.final_accuracy > vanilla.final_accuracy + 0.1
+    assert msmw.final_accuracy > crash.final_accuracy + 0.1
+    assert msmw.final_accuracy > 0.5
+
+    # Representative unit: one attacked MSMW run of a single iteration.
+    benchmark.pedantic(
+        lambda: run_under_attack(
+            "msmw",
+            attack,
+            num_servers=4,
+            num_byzantine_servers=1,
+            num_attacking_servers=1,
+            server_attack=attack,
+            num_iterations=1,
+            dataset_size=200,
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,43 @@
+"""Table 1 — models used to evaluate Garfield (parameter counts and sizes)."""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.nn.models import (
+    PAPER_MODEL_DIMENSIONS,
+    PAPER_MODEL_SIZES_MB,
+    build_model,
+    model_size_mb,
+)
+
+TABLE_ORDER = ["mnist_cnn", "cifarnet", "inception", "resnet50", "resnet200", "vgg"]
+
+
+def test_table1_model_inventory(benchmark, table_printer):
+    """Regenerate Table 1: # parameters and size (MB) of every evaluated model."""
+    rows = []
+    for name in TABLE_ORDER:
+        live = build_model(name)
+        rows.append(
+            (
+                name,
+                PAPER_MODEL_DIMENSIONS[name],
+                round(model_size_mb(name), 1),
+                PAPER_MODEL_SIZES_MB[name],
+                live.num_parameters(),
+            )
+        )
+    table_printer(
+        "Table 1 — models used to evaluate Garfield",
+        ["model", "paper #params", "size MB (d*4B)", "paper size MB", "trainable-lite #params"],
+        rows,
+    )
+
+    # Representative unit of work: instantiating the largest trainable model.
+    benchmark(build_model, "vgg")
+
+    paper_dims = [PAPER_MODEL_DIMENSIONS[m] for m in TABLE_ORDER]
+    assert paper_dims == sorted(paper_dims)
+    for name in TABLE_ORDER:
+        assert abs(model_size_mb(name) - PAPER_MODEL_SIZES_MB[name]) / PAPER_MODEL_SIZES_MB[name] < 0.1

@@ -1,0 +1,78 @@
+"""Table 2 (appendix) — alignment of the replicas' parameter vectors.
+
+During an MSMW run, every 20 steps the paper measures the pairwise differences
+between the correct servers' parameter vectors, keeps the two with the largest
+norms and reports the cosine of the angle between them: it is always close to
+1 (angle close to 0 degrees), which supports the contraction assumption used
+by the ByzSGD analysis.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, training_config
+
+from repro.apps import run_application
+from repro.core.controller import Controller
+
+ITERATIONS = 60
+SAMPLE_EVERY = 20
+
+
+def run_msmw_with_probe():
+    config = training_config(
+        deployment="msmw",
+        num_workers=7,
+        num_byzantine_workers=1,
+        num_attacking_workers=1,
+        worker_attack="random",
+        num_servers=4,
+        num_byzantine_servers=1,
+        num_attacking_servers=1,
+        server_attack="random",
+        model_gar="median",
+        num_iterations=ITERATIONS,
+        accuracy_every=30,
+        seed=33,
+        # Replicas observe fresh gradient estimates, as in the asynchronous
+        # deployment the paper measures Table 2 on.
+        fresh_gradients_per_replica=True,
+    )
+    controller = Controller(config)
+    deployment = controller.build()
+    deployment.alignment.every = SAMPLE_EVERY
+    deployment.alignment.warmup = SAMPLE_EVERY  # "after some large step number"
+    run_application(deployment)
+    return controller.collect_result(deployment)
+
+
+def test_table2_parameter_vector_alignment(benchmark, table_printer):
+    """Regenerate Table 2: cos(phi) and the two largest difference norms per sampled step."""
+    result = run_msmw_with_probe()
+    samples = result.alignment_samples
+    rows = [
+        (int(s["step"]), s["cos_phi"], s["max_diff1"], s.get("max_diff2", float("nan")))
+        for s in samples
+    ]
+    table_printer(
+        "Table 2 — parameter-vector alignment during an MSMW run",
+        ["step", "cos(phi)", "max diff1", "max diff2"],
+        rows,
+    )
+
+    assert len(samples) >= 2
+    # The paper observes cos(phi) ~ 0.98: the replicas' difference vectors stay
+    # almost perfectly aligned because, in the real asynchronous deployment,
+    # replicas lag each other along the shared descent trajectory.  The
+    # round-synchronous simulation reproduces the contraction (tiny, bounded
+    # difference norms) but its residual differences are dominated by
+    # mini-batch noise, so the measured alignment is positive yet lower than
+    # the paper's (see EXPERIMENTS.md).
+    for sample in samples:
+        assert 0.0 <= sample["cos_phi"] <= 1.0
+        assert sample["cos_phi"] > 0.2
+    # The replicas stay contracted: difference norms are small relative to the
+    # model's own norm and do not blow up over the run.
+    assert max(s["max_diff1"] for s in samples) < 1.0
+    assert max(s["max_diff1"] for s in samples) < 10.0 * (min(s["max_diff1"] for s in samples) + 1e-6) + 1.0
+
+    benchmark.pedantic(run_msmw_with_probe, rounds=1, iterations=1)

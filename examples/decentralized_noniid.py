@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Decentralized learning on non-iid data — Listing 3 of the paper.
+
+Every node owns a private, label-skewed data shard (Dirichlet partition) and
+both a Server and a Worker object; there is no central parameter server.
+The example compares the decentralized application with and without the
+multi-round *contract* step that pulls the correct nodes' models together.
+
+Run with:  python examples/decentralized_noniid.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ClusterConfig, Controller
+
+
+def run(contract_steps: int, non_iid: bool) -> tuple:
+    config = ClusterConfig(
+        deployment="decentralized",
+        num_workers=6,
+        num_servers=0,
+        num_byzantine_workers=1,
+        num_attacking_workers=1,
+        worker_attack="random",
+        gradient_gar="median",
+        model_gar="median",
+        model="logistic",
+        dataset="mnist",
+        dataset_size=600,
+        batch_size=16,
+        learning_rate=0.2,
+        non_iid=non_iid,
+        dirichlet_alpha=0.3,
+        contract_steps=contract_steps,
+        num_iterations=40,
+        accuracy_every=10,
+        seed=5,
+    )
+    result = Controller(config).run()
+    return result.final_accuracy, result.messages_sent
+
+
+def main() -> None:
+    print("Decentralized learning, 6 nodes, 1 Byzantine, label-skewed shards (alpha=0.3)")
+    print("-" * 76)
+
+    iid_accuracy, iid_messages = run(contract_steps=0, non_iid=False)
+    print(f"iid shards, no contract step      : accuracy {iid_accuracy:.3f}  ({iid_messages} messages)")
+
+    skew_accuracy, skew_messages = run(contract_steps=0, non_iid=True)
+    print(f"non-iid shards, no contract step  : accuracy {skew_accuracy:.3f}  ({skew_messages} messages)")
+
+    contract_accuracy, contract_messages = run(contract_steps=2, non_iid=True)
+    print(f"non-iid shards, 2 contract steps  : accuracy {contract_accuracy:.3f}  ({contract_messages} messages)")
+
+    print("-" * 76)
+    print(
+        "The contract step adds communication rounds (more messages) in exchange\n"
+        "for keeping the correct nodes' models close despite the skewed data."
+    )
+
+
+if __name__ == "__main__":
+    main()

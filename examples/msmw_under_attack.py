@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""MSMW under attack — the Figure 5 experiment at example scale.
+
+Compares three deployments under the random-vector and reversed-vector
+attacks, with Byzantine nodes on both the worker and the server side:
+
+* the vanilla parameter server (plain averaging, one trusted server),
+* the crash-tolerant primary/backup baseline,
+* Garfield's MSMW application (replicated servers, Multi-Krum + Median).
+
+Only the Byzantine-resilient deployment is expected to learn.
+
+Run with:  python examples/msmw_under_attack.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ClusterConfig, Controller
+
+ATTACKS = ("random", "reversed")
+ITERATIONS = 40
+
+
+def run(deployment: str, attack: str, **overrides) -> float:
+    config = ClusterConfig(
+        deployment=deployment,
+        num_workers=7,
+        num_byzantine_workers=1,
+        num_attacking_workers=1,
+        worker_attack=attack,
+        gradient_gar="multi-krum",
+        model_gar="median",
+        model="logistic",
+        dataset="cifar10",
+        dataset_size=500,
+        batch_size=16,
+        learning_rate=0.2,
+        num_iterations=ITERATIONS,
+        accuracy_every=10,
+        seed=7,
+        **overrides,
+    )
+    result = Controller(config).run()
+    return result.final_accuracy
+
+
+def main() -> None:
+    for attack in ATTACKS:
+        print(f"\n=== attack: {attack} (1 Byzantine worker, 1 Byzantine server) ===")
+        vanilla = run("vanilla", attack)
+        crash = run("crash-tolerant", attack, num_servers=3)
+        msmw = run(
+            "msmw",
+            attack,
+            num_servers=4,
+            num_byzantine_servers=1,
+            num_attacking_servers=1,
+            server_attack=attack,
+        )
+        print(f"  vanilla parameter server : final accuracy {vanilla:.3f}")
+        print(f"  crash-tolerant baseline  : final accuracy {crash:.3f}")
+        print(f"  Garfield MSMW            : final accuracy {msmw:.3f}")
+        if msmw > max(vanilla, crash):
+            print("  -> only the Byzantine-resilient deployment learned, as in Figure 5")
+
+
+if __name__ == "__main__":
+    main()

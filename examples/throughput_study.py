@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Throughput study — the cost of Byzantine resilience (Figures 6-8 in miniature).
+
+Uses the analytic cost model to answer the paper's headline question — what is
+the practical cost of Byzantine resilience? — for a configurable model and
+cluster, printing the per-iteration latency breakdown and the slowdown of
+every deployment relative to the vanilla baseline.
+
+Run with:  python examples/throughput_study.py [model] [cpu|gpu]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.apps.throughput import ThroughputModel
+from repro.nn.models import PAPER_MODEL_DIMENSIONS
+
+DEPLOYMENTS = ["vanilla", "aggregathor", "crash-tolerant", "ssmw", "msmw", "decentralized"]
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "resnet50"
+    device = sys.argv[2] if len(sys.argv) > 2 else "cpu"
+    if model_name not in PAPER_MODEL_DIMENSIONS:
+        raise SystemExit(f"unknown model '{model_name}'; choose from {sorted(PAPER_MODEL_DIMENSIONS)}")
+
+    framework = "tensorflow" if device == "cpu" else "pytorch"
+    workers, servers = (18, 6) if device == "cpu" else (10, 3)
+    model = ThroughputModel(
+        model=model_name,
+        device=device,
+        framework=framework,
+        num_workers=workers,
+        num_byzantine_workers=3,
+        num_servers=servers,
+        num_byzantine_servers=1,
+        gradient_gar="multi-krum",
+        model_gar="median",
+    )
+
+    print(
+        f"model={model_name} (d={PAPER_MODEL_DIMENSIONS[model_name]:,}), device={device}, "
+        f"framework={framework}, {workers} workers / {servers} servers"
+    )
+    header = f"{'deployment':16s} {'compute':>9s} {'comm':>9s} {'agg':>9s} {'total':>9s} {'slowdown':>9s}"
+    print(header)
+    print("-" * len(header))
+    vanilla_total = model.breakdown("vanilla").total
+    for deployment in DEPLOYMENTS:
+        b = model.breakdown(deployment)
+        print(
+            f"{deployment:16s} {b.computation:9.3f} {b.communication:9.3f} "
+            f"{b.aggregation:9.3f} {b.total:9.3f} {b.total / vanilla_total:8.2f}x"
+        )
+    print(
+        "\ncommunication dominates the overhead of every fault-tolerant deployment,\n"
+        "and tolerating Byzantine servers (msmw) costs more than tolerating only\n"
+        "Byzantine workers (ssmw) — the paper's two headline findings."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim so editable installs work in offline environments.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+``pip install -e .`` can fall back to the legacy install path when build
+isolation is unavailable (no network access to fetch build dependencies).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Reproduction of *Garfield: System Support for Byzantine Machine Learning*.
+
+This package provides a complete, self-contained reproduction of the Garfield
+library (DSN 2021).  It is organised as a stack of subpackages:
+
+``repro.nn``
+    A from-scratch numpy tensor / autograd / neural-network substrate that
+    plays the role TensorFlow and PyTorch play in the original paper.
+
+``repro.datasets``
+    Synthetic image-classification datasets (MNIST-like and CIFAR-like),
+    data loaders and iid / non-iid partitioning across workers.
+
+``repro.aggregators``
+    The statistically robust gradient aggregation rules (GARs): Average,
+    Median, Krum / Multi-Krum, MDA and Bulyan, plus the variance-condition
+    checking tool described in Section 3.1 of the paper.
+
+``repro.attacks``
+    Byzantine attack implementations (random vectors, reversed vectors,
+    dropped vectors, little-is-enough, fall-of-empires).
+
+``repro.network``
+    A simulated point-to-point, pull-based RPC transport with latency,
+    bandwidth and serialization cost models plus failure injection.
+
+``repro.core``
+    The Garfield main objects: :class:`~repro.core.server.Server`,
+    :class:`~repro.core.worker.Worker`, their Byzantine variants, the
+    cluster / controller / experiment modules and metric collection.
+
+``repro.apps``
+    The three applications evaluated in the paper (SSMW, MSMW and
+    decentralized learning) together with the vanilla, AggregaThor and
+    crash-tolerant baselines.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

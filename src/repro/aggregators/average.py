@@ -1,0 +1,30 @@
+"""Plain averaging — the vulnerable baseline used by vanilla deployments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregators.base import GAR, register_gar
+
+
+@register_gar
+class Average(GAR):
+    """Coordinate-wise mean of the inputs.
+
+    This is what vanilla TensorFlow / PyTorch parameter servers do.  A single
+    Byzantine input can move the average arbitrarily far, so it tolerates
+    ``f = 0`` only; constructing it with ``f > 0`` is allowed (the paper's
+    baselines do so to keep call sites uniform) but offers no protection.
+    """
+
+    name = "average"
+
+    @classmethod
+    def minimum_inputs(cls, f: int) -> int:
+        return max(1, f + 1)
+
+    def _aggregate(self, matrix: np.ndarray) -> np.ndarray:
+        return matrix.mean(axis=0)
+
+    def flops(self, d: int) -> float:
+        return float(self.n * d)

@@ -1,0 +1,135 @@
+"""Common interface, registry and validation for gradient aggregation rules."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Type
+
+import numpy as np
+
+from repro.exceptions import AggregationError, ResilienceConditionError
+
+
+def as_matrix(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack a sequence of 1-D vectors into a (q, d) float64 matrix.
+
+    Raises :class:`AggregationError` when the list is empty or the vectors
+    disagree on dimension.
+    """
+    if not vectors:
+        raise AggregationError("cannot aggregate an empty list of vectors")
+    rows = [np.asarray(v, dtype=np.float64).ravel() for v in vectors]
+    dim = rows[0].size
+    for index, row in enumerate(rows):
+        if row.size != dim:
+            raise AggregationError(
+                f"input {index} has dimension {row.size}, expected {dim}"
+            )
+    return np.stack(rows, axis=0)
+
+
+class GAR:
+    """Base class for all gradient aggregation rules.
+
+    Subclasses define :attr:`name`, implement :meth:`_aggregate` on a (q, d)
+    matrix and declare their resilience requirement through
+    :meth:`minimum_inputs`.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, n: int, f: int = 0) -> None:
+        if n <= 0:
+            raise ResilienceConditionError("n must be positive")
+        if f < 0:
+            raise ResilienceConditionError("f must be non-negative")
+        required = self.minimum_inputs(f)
+        if n < required:
+            raise ResilienceConditionError(
+                f"{self.name} requires n >= {required} to tolerate f={f} "
+                f"Byzantine inputs, got n={n}"
+            )
+        self.n = n
+        self.f = f
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def minimum_inputs(cls, f: int) -> int:
+        """Minimum number of inputs needed to tolerate ``f`` Byzantine ones."""
+        raise NotImplementedError
+
+    def _aggregate(self, matrix: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def aggregate(self, vectors: Sequence[np.ndarray]) -> np.ndarray:
+        """Aggregate ``q`` input vectors into one output vector."""
+        matrix = as_matrix(vectors)
+        if matrix.shape[0] < self.minimum_inputs(self.f):
+            raise AggregationError(
+                f"{self.name} received {matrix.shape[0]} inputs but needs at least "
+                f"{self.minimum_inputs(self.f)} to tolerate f={self.f}"
+            )
+        return self._aggregate(matrix)
+
+    def __call__(self, gradients: Sequence[np.ndarray], f: int | None = None) -> np.ndarray:
+        """Functional form matching the paper's listings: ``gar(gradients=..., f=...)``."""
+        if f is not None and f != self.f:
+            # Re-validate against the requested f without mutating this instance.
+            type(self)(n=len(gradients), f=f)
+            clone = type(self)(n=len(gradients), f=f)
+            return clone.aggregate(gradients)
+        return self.aggregate(gradients)
+
+    # ------------------------------------------------------------------ #
+    def flops(self, d: int) -> float:
+        """Approximate floating-point operation count for aggregating at dimension ``d``.
+
+        Used by the simulated cost model to reproduce the aggregation-time
+        component of the paper's throughput figures.
+        """
+        return float(self.n * d)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n={self.n}, f={self.f})"
+
+
+GAR_REGISTRY: Dict[str, Type[GAR]] = {}
+
+
+def register_gar(cls: Type[GAR]) -> Type[GAR]:
+    """Class decorator adding a GAR implementation to the global registry."""
+    if not issubclass(cls, GAR):
+        raise TypeError("register_gar expects a GAR subclass")
+    GAR_REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_gars() -> List[str]:
+    """Names of all registered aggregation rules."""
+    return sorted(GAR_REGISTRY)
+
+
+def init(name: str, n: int, f: int = 0, **kwargs) -> GAR:
+    """Instantiate a GAR by name — the ``init()`` entry point from the paper.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_gars` (e.g. ``"median"``, ``"multi-krum"``).
+    n:
+        Total number of input vectors the rule will receive.
+    f:
+        Maximum number of Byzantine inputs to tolerate.
+    """
+    key = name.lower().replace("_", "-")
+    if key not in GAR_REGISTRY:
+        raise AggregationError(f"unknown GAR '{name}'; available: {available_gars()}")
+    return GAR_REGISTRY[key](n=n, f=f, **kwargs)
+
+
+def pairwise_squared_distances(matrix: np.ndarray) -> np.ndarray:
+    """(q, q) matrix of squared euclidean distances between the rows of ``matrix``."""
+    norms = (matrix ** 2).sum(axis=1)
+    squared = norms[:, None] + norms[None, :] - 2.0 * matrix @ matrix.T
+    np.maximum(squared, 0.0, out=squared)
+    return squared

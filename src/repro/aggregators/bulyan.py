@@ -1,0 +1,62 @@
+"""Bulyan GAR (El Mhamdi, Guerraoui, Rouault — ICML 2018).
+
+Bulyan runs an inner Byzantine-resilient GAR (Multi-Krum here, as in the
+paper) several times to select a committee of ``k = q - 2f`` gradients, then
+performs a trimmed, median-anchored coordinate-wise average over that
+committee: for every coordinate it keeps the ``k' = k - 2f`` values closest to
+the coordinate-wise median and averages them.  This two-stage construction is
+what lets Bulyan sustain very high-dimensional models.  It requires
+``q >= 4f + 3`` and runs in O(q^2 d).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregators.base import GAR, register_gar
+from repro.aggregators.krum import krum_scores
+
+
+@register_gar
+class Bulyan(GAR):
+    """Bulyan over Multi-Krum selection followed by a trimmed median-average."""
+
+    name = "bulyan"
+
+    @classmethod
+    def minimum_inputs(cls, f: int) -> int:
+        return 4 * f + 3
+
+    def _selection_size(self, q: int) -> int:
+        return max(1, q - 2 * self.f)
+
+    def _aggregate(self, matrix: np.ndarray) -> np.ndarray:
+        q = matrix.shape[0]
+        committee_size = self._selection_size(q)
+
+        # Stage 1 — iterate the inner GAR (Krum selection) to pick a committee.
+        remaining = list(range(q))
+        committee: list[int] = []
+        while len(committee) < committee_size and remaining:
+            sub = matrix[remaining]
+            if sub.shape[0] <= 2 * self.f + 2:
+                # Not enough vectors left for meaningful Krum scores; take the rest.
+                committee.extend(remaining)
+                break
+            scores = krum_scores(sub, self.f)
+            best_local = int(np.argmin(scores))
+            committee.append(remaining.pop(best_local))
+        committee = committee[:committee_size]
+        selected = matrix[np.asarray(committee)]
+
+        # Stage 2 — coordinate-wise trimmed average around the median.
+        beta = max(1, selected.shape[0] - 2 * self.f)
+        median = np.median(selected, axis=0)
+        distance_to_median = np.abs(selected - median[None, :])
+        # For each coordinate, keep the beta closest values to the median.
+        order = np.argsort(distance_to_median, axis=0)[:beta]
+        closest = np.take_along_axis(selected, order, axis=0)
+        return closest.mean(axis=0)
+
+    def flops(self, d: int) -> float:
+        return float(self.n ** 2 * d)

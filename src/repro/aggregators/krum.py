@@ -1,0 +1,74 @@
+"""Krum and Multi-Krum GARs (Blanchard et al., NeurIPS 2017).
+
+Krum scores every input by the sum of squared distances to its ``n - f - 2``
+closest neighbours and returns the input with the smallest score.  Multi-Krum
+averages the ``m`` best-scoring inputs, which improves the convergence rate
+when most inputs are honest.  Both require ``q >= 2f + 3`` and run in
+O(q^2 d).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregators.base import GAR, pairwise_squared_distances, register_gar
+
+
+def krum_scores(matrix: np.ndarray, f: int) -> np.ndarray:
+    """Krum score of each row: sum of squared distances to its closest neighbours."""
+    q = matrix.shape[0]
+    closest = q - f - 2
+    if closest < 1:
+        closest = 1
+    distances = pairwise_squared_distances(matrix)
+    np.fill_diagonal(distances, np.inf)
+    sorted_distances = np.sort(distances, axis=1)
+    return sorted_distances[:, :closest].sum(axis=1)
+
+
+@register_gar
+class Krum(GAR):
+    """Return the single input vector with the smallest Krum score."""
+
+    name = "krum"
+
+    @classmethod
+    def minimum_inputs(cls, f: int) -> int:
+        return 2 * f + 3
+
+    def _aggregate(self, matrix: np.ndarray) -> np.ndarray:
+        scores = krum_scores(matrix, self.f)
+        return matrix[int(np.argmin(scores))].copy()
+
+    def flops(self, d: int) -> float:
+        return float(self.n ** 2 * d)
+
+
+@register_gar
+class MultiKrum(GAR):
+    """Average of the ``m`` smallest-scoring inputs (defaults to ``n - f``)."""
+
+    name = "multi-krum"
+
+    def __init__(self, n: int, f: int = 0, m: int | None = None) -> None:
+        super().__init__(n, f)
+        self.m = m if m is not None else max(1, n - f)
+        if not 1 <= self.m <= n:
+            raise ValueError(f"m must be in [1, n], got {self.m}")
+
+    @classmethod
+    def minimum_inputs(cls, f: int) -> int:
+        return 2 * f + 3
+
+    def selection(self, matrix: np.ndarray) -> np.ndarray:
+        """Indices of the ``m`` selected (lowest-score) inputs."""
+        scores = krum_scores(matrix, self.f)
+        m = min(self.m, matrix.shape[0])
+        return np.argsort(scores)[:m]
+
+    def _aggregate(self, matrix: np.ndarray) -> np.ndarray:
+        selected = self.selection(matrix)
+        return matrix[selected].mean(axis=0)
+
+    def flops(self, d: int) -> float:
+        return float(self.n ** 2 * d)

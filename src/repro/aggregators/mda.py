@@ -1,0 +1,63 @@
+"""MDA — Minimum-Diameter Averaging (Rousseeuw, 1985; El Mhamdi et al.).
+
+MDA searches for the subset of ``q - f`` inputs with the smallest diameter
+(the maximum pairwise distance inside the subset) and returns the average of
+that subset.  Its complexity is O(C(q, f) + q^2 d): exponential in ``f`` when
+``f = O(q)``, polynomial when ``f = O(1)``.  It requires ``q >= 2f + 1`` and
+makes a weaker variance assumption than Krum or Median (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.aggregators.base import GAR, pairwise_squared_distances, register_gar
+from repro.exceptions import AggregationError
+
+
+@register_gar
+class MDA(GAR):
+    """Average of the minimum-diameter subset of size ``q - f``."""
+
+    name = "mda"
+
+    #: Safety valve: refuse to enumerate more candidate subsets than this.
+    max_subsets = 2_000_000
+
+    @classmethod
+    def minimum_inputs(cls, f: int) -> int:
+        return 2 * f + 1
+
+    def _aggregate(self, matrix: np.ndarray) -> np.ndarray:
+        q = matrix.shape[0]
+        keep = q - self.f
+        if self.f == 0 or keep >= q:
+            return matrix.mean(axis=0)
+
+        from math import comb
+
+        if comb(q, keep) > self.max_subsets:
+            raise AggregationError(
+                f"MDA would need to enumerate {comb(q, keep)} subsets "
+                f"(q={q}, f={self.f}); this exceeds the safety limit"
+            )
+
+        distances = np.sqrt(pairwise_squared_distances(matrix))
+        best_subset: tuple = ()
+        best_diameter = np.inf
+        for subset in combinations(range(q), keep):
+            idx = np.asarray(subset)
+            diameter = distances[np.ix_(idx, idx)].max()
+            if diameter < best_diameter:
+                best_diameter = diameter
+                best_subset = subset
+        return matrix[np.asarray(best_subset)].mean(axis=0)
+
+    def flops(self, d: int) -> float:
+        from math import comb
+
+        keep = self.n - self.f
+        subset_cost = comb(self.n, keep) * keep ** 2
+        return float(subset_cost + self.n ** 2 * d)

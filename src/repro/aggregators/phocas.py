@@ -1,0 +1,37 @@
+"""MeaMed / Phocas-style GAR: mean of the values closest to the coordinate-wise median.
+
+Another member of the robust-mean family referenced by the paper (Xie et al.,
+"Generalized Byzantine-tolerant SGD").  For every coordinate it keeps the
+``q - f`` values closest to the coordinate-wise median and averages them.
+Requires ``q >= 2f + 1`` and runs in O(q log q * d).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregators.base import GAR, register_gar
+
+
+@register_gar
+class MeaMed(GAR):
+    """Mean-around-median aggregation (a.k.a. MeaMed, used by Phocas)."""
+
+    name = "meamed"
+
+    @classmethod
+    def minimum_inputs(cls, f: int) -> int:
+        return 2 * f + 1
+
+    def _aggregate(self, matrix: np.ndarray) -> np.ndarray:
+        if self.f == 0:
+            return matrix.mean(axis=0)
+        keep = matrix.shape[0] - self.f
+        median = np.median(matrix, axis=0)
+        distance = np.abs(matrix - median[None, :])
+        order = np.argsort(distance, axis=0)[:keep]
+        closest = np.take_along_axis(matrix, order, axis=0)
+        return closest.mean(axis=0)
+
+    def flops(self, d: int) -> float:
+        return float(self.n * np.log2(max(self.n, 2)) * d)

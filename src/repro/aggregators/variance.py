@@ -1,0 +1,147 @@
+"""The ``measure_variance`` tool from Section 3.1 of the paper.
+
+Every statistically robust GAR assumes a bound relating the variance of the
+honest workers' gradient estimates to the norm of the true gradient:
+
+    kappa * Delta * sqrt(E || g_i - E[g_i] ||^2)  <=  || grad L(theta) ||
+
+with a GAR-specific factor ``Delta`` (MDA, Krum, Median each have their own,
+reproduced in :func:`delta_factor`).  The tool runs a handful of training
+steps, estimates the "true" gradient with a very large batch, measures the
+empirical variance of per-worker gradients and reports how often the
+condition is satisfied for each GAR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: The GARs the tool knows how to evaluate (those with a published Delta).
+SUPPORTED_GARS = ("mda", "krum", "median")
+
+
+def delta_factor(gar: str, n: int, f: int) -> float:
+    """The Delta factor of the variance condition for the given GAR.
+
+    Formulas follow Section 3.1 of the paper.
+    """
+    if f < 0 or n <= f:
+        raise ConfigurationError("need 0 <= f < n")
+    honest = n - f
+    key = gar.lower().replace("_", "-")
+    if key == "mda":
+        if honest == 0:
+            raise ConfigurationError("n - f must be positive")
+        return 2.0 * np.sqrt(2.0) * f / honest if f > 0 else 0.0
+    if key in ("krum", "multi-krum"):
+        denom = n - 2 * f - 2
+        if denom <= 0:
+            raise ConfigurationError("Krum's Delta requires n > 2f + 2")
+        inner = honest + (f * (honest - 2) + f * f * (honest - 1)) / denom
+        return float(np.sqrt(2.0 * inner))
+    if key == "median":
+        return float(np.sqrt(honest))
+    raise ConfigurationError(f"no Delta factor known for GAR '{gar}'")
+
+
+@dataclass
+class VarianceReport:
+    """Outcome of a variance measurement run.
+
+    ``satisfied`` maps each GAR name to the fraction of measured steps at
+    which the variance condition held (with kappa = ``kappa``).
+    """
+
+    kappa: float
+    steps: int
+    gradient_norms: List[float] = field(default_factory=list)
+    deviations: List[float] = field(default_factory=list)
+    satisfied: Dict[str, float] = field(default_factory=dict)
+    ratios: Dict[str, List[float]] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [f"variance report over {self.steps} steps (kappa={self.kappa})"]
+        for gar, fraction in sorted(self.satisfied.items()):
+            lines.append(f"  {gar:12s}: condition satisfied in {fraction * 100:.0f}% of steps")
+        return "\n".join(lines)
+
+
+def check_condition(
+    worker_gradients: Sequence[np.ndarray],
+    true_gradient: np.ndarray,
+    gar: str,
+    f: int,
+    kappa: float = 1.5,
+) -> tuple:
+    """Check the variance condition for one training step.
+
+    Returns ``(satisfied, lhs, rhs)`` where ``lhs = kappa * Delta * deviation``
+    and ``rhs = ||true_gradient||``.
+    """
+    matrix = np.stack([np.asarray(g, dtype=np.float64).ravel() for g in worker_gradients])
+    n = matrix.shape[0] + f  # workers supplied are the honest ones
+    mean = matrix.mean(axis=0)
+    deviation = float(np.sqrt(((matrix - mean) ** 2).sum(axis=1).mean()))
+    delta = delta_factor(gar, n=n, f=f)
+    lhs = kappa * delta * deviation
+    rhs = float(np.linalg.norm(true_gradient))
+    return lhs <= rhs, lhs, rhs
+
+
+def measure_variance(
+    gradient_sampler,
+    true_gradient_fn,
+    n: int,
+    f: int,
+    steps: int = 5,
+    kappa: float = 1.5,
+    gars: Sequence[str] = SUPPORTED_GARS,
+) -> VarianceReport:
+    """Run the measurement loop of ``measure_variance.py``.
+
+    Parameters
+    ----------
+    gradient_sampler:
+        Callable ``(step) -> list of per-worker gradient vectors`` for the
+        honest workers (length ``n - f``).
+    true_gradient_fn:
+        Callable ``(step) -> np.ndarray`` estimating the true gradient with a
+        huge batch.
+    n, f:
+        Cluster size and declared number of Byzantine workers.
+    steps:
+        How many training steps to sample.
+    kappa:
+        The constant ``kappa > 1`` of the condition.
+    """
+    if steps <= 0:
+        raise ConfigurationError("steps must be positive")
+    if kappa <= 1.0:
+        raise ConfigurationError("kappa must be strictly greater than 1")
+    report = VarianceReport(kappa=kappa, steps=steps)
+    counts = {gar: 0 for gar in gars}
+    report.ratios = {gar: [] for gar in gars}
+    for step in range(steps):
+        worker_gradients = gradient_sampler(step)
+        if len(worker_gradients) != n - f:
+            raise ConfigurationError(
+                f"gradient_sampler returned {len(worker_gradients)} gradients, expected n - f = {n - f}"
+            )
+        true_gradient = true_gradient_fn(step)
+        matrix = np.stack([np.asarray(g, dtype=np.float64).ravel() for g in worker_gradients])
+        mean = matrix.mean(axis=0)
+        deviation = float(np.sqrt(((matrix - mean) ** 2).sum(axis=1).mean()))
+        report.deviations.append(deviation)
+        report.gradient_norms.append(float(np.linalg.norm(true_gradient)))
+        for gar in gars:
+            satisfied, lhs, rhs = check_condition(worker_gradients, true_gradient, gar, f, kappa)
+            report.ratios[gar].append(lhs / rhs if rhs > 0 else np.inf)
+            if satisfied:
+                counts[gar] += 1
+    report.satisfied = {gar: counts[gar] / steps for gar in gars}
+    return report

@@ -1,0 +1,53 @@
+"""The Garfield applications evaluated in the paper (Section 5) and baselines.
+
+Each application is a function taking a fully built
+:class:`~repro.core.controller.Deployment` and driving its training loop,
+appending one :class:`~repro.core.metrics.IterationRecord` per iteration to
+the deployment's metrics log.  ``run_application`` dispatches on the
+deployment name; the analytic throughput model used by the benchmark harness
+lives in :mod:`repro.apps.throughput`.
+"""
+
+from typing import Callable, Dict
+
+from repro.core.controller import Deployment
+from repro.exceptions import ConfigurationError
+
+from repro.apps.vanilla import run_vanilla
+from repro.apps.aggregathor import run_aggregathor
+from repro.apps.crash_tolerant import run_crash_tolerant
+from repro.apps.ssmw import run_ssmw
+from repro.apps.msmw import run_msmw
+from repro.apps.decentralized import run_decentralized
+from repro.apps.throughput import ThroughputModel, iteration_breakdown
+
+APPLICATIONS: Dict[str, Callable[[Deployment], None]] = {
+    "vanilla": run_vanilla,
+    "aggregathor": run_aggregathor,
+    "crash-tolerant": run_crash_tolerant,
+    "ssmw": run_ssmw,
+    "msmw": run_msmw,
+    "decentralized": run_decentralized,
+}
+
+
+def run_application(deployment: Deployment) -> None:
+    """Run the training loop matching the deployment's configured application."""
+    name = deployment.config.deployment
+    if name not in APPLICATIONS:
+        raise ConfigurationError(f"no application registered for deployment '{name}'")
+    APPLICATIONS[name](deployment)
+
+
+__all__ = [
+    "APPLICATIONS",
+    "run_application",
+    "run_vanilla",
+    "run_aggregathor",
+    "run_crash_tolerant",
+    "run_ssmw",
+    "run_msmw",
+    "run_decentralized",
+    "ThroughputModel",
+    "iteration_breakdown",
+]

@@ -1,0 +1,55 @@
+"""Crash-tolerant primary/backup baseline (Section 6.2).
+
+A strawman protocol built from Garfield components that tolerates *crash*
+(not Byzantine) failures of the parameter server: the server is replicated,
+every replica collects the gradients of all workers and averages them, but
+workers only fetch the model from the current primary.  When the primary
+crashes (detected by a timeout, here by the transport raising
+``NodeCrashedError``), the next replica becomes primary and re-broadcasts its
+(possibly slightly outdated) model — learning still converges eventually.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import RoundAccountant, should_evaluate
+from repro.core.controller import Deployment
+from repro.exceptions import NodeCrashedError, TrainingError
+
+
+def run_crash_tolerant(deployment: Deployment) -> None:
+    """Run the primary/backup averaging protocol over all server replicas."""
+    config = deployment.config
+    servers = deployment.servers
+    gar = deployment.gradient_gar  # Average
+    quorum = config.num_workers
+
+    primary_index = 0
+    accountant = RoundAccountant(deployment, servers[primary_index])
+
+    for iteration in range(config.num_iterations):
+        # Fail over if the primary crashed; the new primary's model may lag by
+        # a few updates, which is acceptable for eventual convergence.
+        while deployment.transport.failures.is_crashed(servers[primary_index].node_id):
+            primary_index += 1
+            if primary_index >= len(servers):
+                raise TrainingError("all server replicas have crashed")
+            accountant = RoundAccountant(deployment, servers[primary_index])
+        primary = servers[primary_index]
+
+        accountant.begin()
+        # Every alive replica collects all gradients and applies the average,
+        # so any of them can take over as primary at the next iteration.
+        for server in servers[primary_index:]:
+            if deployment.transport.failures.is_crashed(server.node_id):
+                continue
+            try:
+                gradients = server.get_gradients(iteration, quorum)
+            except NodeCrashedError:  # pragma: no cover - defensive
+                continue
+            aggregated = gar.aggregate(gradients)
+            if server is primary:
+                accountant.add_aggregation(gar)
+            server.update_model(aggregated)
+
+        accuracy = primary.compute_accuracy() if should_evaluate(deployment, iteration) else None
+        accountant.end(iteration, accuracy=accuracy)

@@ -1,0 +1,88 @@
+"""Decentralized (peer-to-peer) learning (Section 5.3, Listing 3).
+
+There is no parameter server: every node owns a Server *and* a Worker object,
+keeps its data local and exchanges gradients and models with all other nodes.
+When the data is not identically distributed, an extra multi-round *contract*
+step re-aggregates the nodes' aggregated gradients so the model states on
+correct machines are pulled towards each other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.apps.common import RoundAccountant, should_evaluate
+from repro.core.byzantine import ByzantineServer
+from repro.core.controller import Deployment
+
+
+def _contract(deployment: Deployment, honest, aggregated: Dict[str, np.ndarray], iteration: int, accountant) -> Dict[str, np.ndarray]:
+    """The contract(...) helper of Listing 3: multi-round gradient re-aggregation."""
+    config = deployment.config
+    gar = deployment.gradient_gar
+    quorum = max(1, config.num_workers - config.num_byzantine_workers - 1)
+    for _ in range(config.contract_steps):
+        # Publish the current aggregate, then everybody pulls and re-aggregates.
+        for server in deployment.servers:
+            if isinstance(server, ByzantineServer):
+                continue
+            server.latest_aggr_grad = aggregated[server.node_id]
+        refreshed: Dict[str, np.ndarray] = {}
+        for server in honest:
+            peer_grads = server.get_aggr_grads(quorum, iteration=iteration)
+            peer_grads.append(aggregated[server.node_id])
+            refreshed[server.node_id] = gar(gradients=peer_grads, f=config.num_byzantine_workers)
+            if server is deployment.primary:
+                accountant.add_aggregation(gar)
+        aggregated = refreshed
+    return aggregated
+
+
+def run_decentralized(deployment: Deployment) -> None:
+    """Run Listing 3 on every honest node."""
+    config = deployment.config
+    honest = deployment.honest_servers
+    reporting = deployment.primary
+    gar = deployment.gradient_gar
+    model_gar = deployment.model_gar
+    accountant = RoundAccountant(deployment, reporting)
+
+    gradient_quorum = config.gradient_quorum()
+    model_quorum = config.model_quorum()
+
+    for iteration in range(config.num_iterations):
+        accountant.begin()
+
+        # Phase 1 — every node aggregates the gradients of its peers.
+        aggregated: Dict[str, np.ndarray] = {}
+        for server in honest:
+            gradients = server.get_gradients(iteration, gradient_quorum)
+            aggregated[server.node_id] = gar(gradients=gradients, f=config.num_byzantine_workers)
+            if server is reporting:
+                accountant.add_aggregation(gar)
+
+        # Phase 2 — contract the aggregated gradients when data is non-iid.
+        if config.non_iid:
+            aggregated = _contract(deployment, honest, aggregated, iteration, accountant)
+
+        for server in honest:
+            server.update_model(aggregated[server.node_id])
+
+        # Phase 3 — exchange and robustly aggregate the model states.
+        new_models: Dict[str, np.ndarray] = {}
+        for server in honest:
+            models: List[np.ndarray] = server.get_models(model_quorum, iteration=iteration)
+            models.append(server.flat_parameters())
+            new_models[server.node_id] = model_gar.aggregate(models)
+            if server is reporting:
+                accountant.add_aggregation(model_gar)
+        for server in honest:
+            server.write_model(new_models[server.node_id])
+
+        deployment.alignment.maybe_sample(
+            iteration, [server.flat_parameters() for server in honest]
+        )
+        accuracy = reporting.compute_accuracy() if should_evaluate(deployment, iteration) else None
+        accountant.end(iteration, accuracy=accuracy)

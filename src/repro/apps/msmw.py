@@ -1,0 +1,61 @@
+"""MSMW — Multiple Servers, Multiple Workers (Section 5.2, Listing 2).
+
+The parameter server is replicated so the deployment tolerates Byzantine
+servers as well as Byzantine workers (the ByzSGD construction).  Each honest
+replica performs, per iteration:
+
+1. collect ``n_w - f_w`` gradients and aggregate them with the gradient GAR;
+2. apply the aggregated gradient to its local model;
+3. collect models from the other replicas, aggregate them (together with its
+   own) with the model GAR and overwrite its model with the result — the
+   extra communication round that keeps the replicas from diverging.
+
+Byzantine replicas serve corrupted models but are never trusted with the
+reporting of metrics; as in the paper, accuracy and throughput are reported
+from the (fastest) correct replica.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import RoundAccountant, should_evaluate
+from repro.core.controller import Deployment
+
+
+def run_msmw(deployment: Deployment) -> None:
+    """Run Listing 2 on every honest server replica."""
+    config = deployment.config
+    honest = deployment.honest_servers
+    reporting = deployment.primary
+    gar = deployment.gradient_gar
+    model_gar = deployment.model_gar
+    accountant = RoundAccountant(deployment, reporting)
+
+    gradient_quorum = config.gradient_quorum()
+    model_quorum = config.model_quorum()
+
+    for iteration in range(config.num_iterations):
+        accountant.begin()
+        for server in honest:
+            gradients = server.get_gradients(iteration, gradient_quorum)
+            aggregated = gar(gradients=gradients, f=config.num_byzantine_workers)
+            if server is reporting:
+                accountant.add_aggregation(gar)
+            server.update_model(aggregated)
+
+        # Second communication round: contract the replicas' models.
+        new_models = {}
+        for server in honest:
+            models = server.get_models(model_quorum, iteration=iteration)
+            models.append(server.flat_parameters())
+            aggregated_model = model_gar.aggregate(models)
+            if server is reporting:
+                accountant.add_aggregation(model_gar)
+            new_models[server.node_id] = aggregated_model
+        for server in honest:
+            server.write_model(new_models[server.node_id])
+
+        deployment.alignment.maybe_sample(
+            iteration, [server.flat_parameters() for server in honest]
+        )
+        accuracy = reporting.compute_accuracy() if should_evaluate(deployment, iteration) else None
+        accountant.end(iteration, accuracy=accuracy)

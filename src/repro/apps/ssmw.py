@@ -1,0 +1,31 @@
+"""SSMW — Single Server, Multiple Workers (Section 5.1, Listing 1).
+
+The classic Byzantine-worker setup: one trusted parameter server replaces the
+averaging step with a statistically robust GAR.  The network is assumed
+synchronous, so the server waits for all ``n_w`` workers by default; the
+asynchronous flag lowers the quorum to ``n_w - f_w``.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import RoundAccountant, should_evaluate
+from repro.core.controller import Deployment
+
+
+def run_ssmw(deployment: Deployment) -> None:
+    """Run Listing 1: robust aggregation of worker gradients on one trusted server."""
+    config = deployment.config
+    server = deployment.servers[0]
+    gar = deployment.gradient_gar
+    accountant = RoundAccountant(deployment, server)
+    quorum = config.gradient_quorum()
+
+    for iteration in range(config.num_iterations):
+        accountant.begin()
+        gradients = server.get_gradients(iteration, quorum)
+        aggregated = gar(gradients=gradients, f=config.num_byzantine_workers)
+        accountant.add_aggregation(gar)
+        server.update_model(aggregated)
+
+        accuracy = server.compute_accuracy() if should_evaluate(deployment, iteration) else None
+        accountant.end(iteration, accuracy=accuracy)

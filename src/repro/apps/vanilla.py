@@ -1,0 +1,29 @@
+"""Vanilla parameter-server deployment (the paper's non-fault-tolerant baseline).
+
+One trusted server, plain averaging of all workers' gradients, synchronous
+collection.  This is what an unmodified TensorFlow / PyTorch deployment does
+and it fails under any Byzantine behaviour — which Figure 5 demonstrates.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import RoundAccountant, should_evaluate
+from repro.core.controller import Deployment
+
+
+def run_vanilla(deployment: Deployment) -> None:
+    """Run the vanilla averaging loop on the single parameter server."""
+    config = deployment.config
+    server = deployment.servers[0]
+    accountant = RoundAccountant(deployment, server)
+    gar = deployment.gradient_gar  # Average for this deployment
+
+    for iteration in range(config.num_iterations):
+        accountant.begin()
+        gradients = server.get_gradients(iteration, config.num_workers)
+        aggregated = gar.aggregate(gradients)
+        accountant.add_aggregation(gar)
+        server.update_model(aggregated)
+
+        accuracy = server.compute_accuracy() if should_evaluate(deployment, iteration) else None
+        accountant.end(iteration, accuracy=accuracy)

@@ -1,0 +1,31 @@
+"""Byzantine attack implementations.
+
+These are the behaviours implemented by the paper's ``ByzantineWorker`` and
+``ByzantineServer`` objects: simple ones (random vectors, reversed/amplified
+vectors, dropped vectors) and the state-of-the-art collusion attacks
+*little-is-enough* (Baruch et al., 2019) and *fall-of-empires* (Xie et al.,
+2019).  An attack is a callable that, given the vector an honest node would
+have sent plus (optionally) a view of the other honest vectors, produces the
+malicious vector actually sent.
+"""
+
+from repro.attacks.base import ATTACK_REGISTRY, Attack, available_attacks, build_attack
+from repro.attacks.simple import DropAttack, NoAttack, RandomVectorAttack, ReversedVectorAttack
+from repro.attacks.little_is_enough import LittleIsEnoughAttack
+from repro.attacks.fall_of_empires import FallOfEmpiresAttack
+from repro.attacks.intermittent import IntermittentDropAttack, SlowBurnAttack
+
+__all__ = [
+    "Attack",
+    "ATTACK_REGISTRY",
+    "available_attacks",
+    "build_attack",
+    "NoAttack",
+    "RandomVectorAttack",
+    "ReversedVectorAttack",
+    "DropAttack",
+    "LittleIsEnoughAttack",
+    "FallOfEmpiresAttack",
+    "IntermittentDropAttack",
+    "SlowBurnAttack",
+]

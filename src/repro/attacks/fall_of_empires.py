@@ -1,0 +1,34 @@
+"""The *fall-of-empires* attack (Xie, Koyejo & Gupta, 2019).
+
+Colluding Byzantine workers submit ``-epsilon * mean(honest gradients)``:
+an inner-product manipulation that keeps the malicious vectors close to the
+honest ones (fooling distance-based GARs) while making the aggregate point
+away from the descent direction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import Attack, register_attack
+
+
+@register_attack
+class FallOfEmpiresAttack(Attack):
+    """Submit the negated (scaled) mean of the honest gradients."""
+
+    name = "fall-of-empires"
+
+    def __init__(self, seed: int = 0, epsilon: float = 1.1) -> None:
+        super().__init__(seed)
+        self.epsilon = epsilon
+
+    def craft(
+        self, honest_vector: np.ndarray, peer_vectors: Optional[Sequence[np.ndarray]] = None
+    ) -> Optional[np.ndarray]:
+        if not peer_vectors:
+            return -self.epsilon * honest_vector
+        matrix = np.stack([np.asarray(v, dtype=np.float64).ravel() for v in peer_vectors])
+        return (-self.epsilon * matrix.mean(axis=0)).reshape(honest_vector.shape)

@@ -1,0 +1,64 @@
+"""Intermittent (stateful) Byzantine behaviours.
+
+These attacks alternate between honest and malicious behaviour, which makes
+them harder to detect by performance-based ranking defences and exercises the
+stateful-attack code path of the Byzantine objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import Attack, register_attack
+
+
+@register_attack
+class IntermittentDropAttack(Attack):
+    """Stay silent every ``period``-th request, behave honestly otherwise."""
+
+    name = "intermittent-drop"
+
+    def __init__(self, seed: int = 0, period: int = 2) -> None:
+        super().__init__(seed)
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+        self._calls = 0
+
+    def craft(
+        self, honest_vector: np.ndarray, peer_vectors: Optional[Sequence[np.ndarray]] = None
+    ) -> Optional[np.ndarray]:
+        self._calls += 1
+        if self._calls % self.period == 0:
+            return None
+        return honest_vector
+
+
+@register_attack
+class SlowBurnAttack(Attack):
+    """Behave honestly for ``warmup`` requests, then amplify-and-reverse.
+
+    Models an adversary that waits until the model is partially trained before
+    attacking, which is when naive anomaly detection based on early statistics
+    fails.
+    """
+
+    name = "slow-burn"
+
+    def __init__(self, seed: int = 0, warmup: int = 10, factor: float = -50.0) -> None:
+        super().__init__(seed)
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        self.warmup = warmup
+        self.factor = factor
+        self._calls = 0
+
+    def craft(
+        self, honest_vector: np.ndarray, peer_vectors: Optional[Sequence[np.ndarray]] = None
+    ) -> Optional[np.ndarray]:
+        self._calls += 1
+        if self._calls <= self.warmup:
+            return honest_vector
+        return self.factor * honest_vector

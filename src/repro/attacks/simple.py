@@ -1,0 +1,70 @@
+"""Simple Byzantine behaviours: honest, random, reversed/amplified, dropped."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import Attack, register_attack
+
+
+@register_attack
+class NoAttack(Attack):
+    """Behave honestly — useful to declare a node Byzantine without attacking."""
+
+    name = "none"
+
+    def craft(
+        self, honest_vector: np.ndarray, peer_vectors: Optional[Sequence[np.ndarray]] = None
+    ) -> Optional[np.ndarray]:
+        return honest_vector
+
+
+@register_attack
+class RandomVectorAttack(Attack):
+    """Replace the vector with Gaussian noise of a configurable scale (Fig. 5a).
+
+    The default scale is deliberately large relative to typical gradient
+    norms: the attack's point is that unfiltered averaging lets a single such
+    vector dominate the aggregate.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0, scale: float = 100.0) -> None:
+        super().__init__(seed)
+        self.scale = scale
+
+    def craft(
+        self, honest_vector: np.ndarray, peer_vectors: Optional[Sequence[np.ndarray]] = None
+    ) -> Optional[np.ndarray]:
+        return self.rng.normal(0.0, self.scale, size=honest_vector.shape)
+
+
+@register_attack
+class ReversedVectorAttack(Attack):
+    """Reverse and amplify the honest vector (multiplied by -100 in the paper, Fig. 5b)."""
+
+    name = "reversed"
+
+    def __init__(self, seed: int = 0, factor: float = -100.0) -> None:
+        super().__init__(seed)
+        self.factor = factor
+
+    def craft(
+        self, honest_vector: np.ndarray, peer_vectors: Optional[Sequence[np.ndarray]] = None
+    ) -> Optional[np.ndarray]:
+        return self.factor * honest_vector
+
+
+@register_attack
+class DropAttack(Attack):
+    """Stay silent: the node never replies to the request."""
+
+    name = "drop"
+
+    def craft(
+        self, honest_vector: np.ndarray, peer_vectors: Optional[Sequence[np.ndarray]] = None
+    ) -> Optional[np.ndarray]:
+        return None

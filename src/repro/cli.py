@@ -1,0 +1,181 @@
+"""Command-line interface for the Garfield reproduction.
+
+Mirrors the role of the paper's Controller scripts: launching experiments and
+inspecting the library's building blocks without writing Python.
+
+Examples
+--------
+List the available GARs, attacks, models and deployments::
+
+    python -m repro list
+
+Run a small SSMW training job under the reversed-vector attack and save the
+result as JSON::
+
+    python -m repro run --deployment ssmw --workers 8 --byzantine-workers 2 \
+        --attacking-workers 2 --attack reversed --gar multi-krum \
+        --iterations 30 --output result.json
+
+Print the analytic per-iteration latency breakdown of every deployment for a
+given model and device (the Figure 6/7 view)::
+
+    python -m repro throughput --model resnet50 --device cpu
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.aggregators import available_gars
+from repro.attacks import available_attacks
+from repro.core.cluster import ClusterConfig
+from repro.core.controller import Controller
+from repro.network.topology import DEPLOYMENTS
+from repro.nn.models import MODEL_REGISTRY, PAPER_MODEL_DIMENSIONS
+from repro.version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Garfield (DSN 2021) reproduction — Byzantine-resilient distributed SGD",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # ------------------------------------------------------------------ #
+    list_parser = subparsers.add_parser("list", help="list GARs, attacks, models and deployments")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    # ------------------------------------------------------------------ #
+    run_parser = subparsers.add_parser("run", help="run one training deployment end to end")
+    run_parser.add_argument("--deployment", choices=sorted(DEPLOYMENTS), default="ssmw")
+    run_parser.add_argument("--workers", type=int, default=6)
+    run_parser.add_argument("--byzantine-workers", type=int, default=0)
+    run_parser.add_argument("--attacking-workers", type=int, default=0)
+    run_parser.add_argument("--servers", type=int, default=1)
+    run_parser.add_argument("--byzantine-servers", type=int, default=0)
+    run_parser.add_argument("--attacking-servers", type=int, default=0)
+    run_parser.add_argument("--attack", default="random", help="worker/server attack name")
+    run_parser.add_argument("--gar", default="multi-krum", help="gradient aggregation rule")
+    run_parser.add_argument("--model-gar", default="median", help="model aggregation rule")
+    run_parser.add_argument("--model", default="logistic")
+    run_parser.add_argument("--dataset", choices=["mnist", "cifar10"], default="mnist")
+    run_parser.add_argument("--dataset-size", type=int, default=400)
+    run_parser.add_argument("--batch-size", type=int, default=16)
+    run_parser.add_argument("--learning-rate", type=float, default=0.2)
+    run_parser.add_argument("--iterations", type=int, default=30)
+    run_parser.add_argument("--accuracy-every", type=int, default=10)
+    run_parser.add_argument("--seed", type=int, default=1)
+    run_parser.add_argument("--asynchronous", action="store_true")
+    run_parser.add_argument("--non-iid", action="store_true")
+    run_parser.add_argument("--output", help="write the TrainingResult to this JSON file")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    # ------------------------------------------------------------------ #
+    throughput_parser = subparsers.add_parser(
+        "throughput", help="print the analytic per-iteration latency breakdown per deployment"
+    )
+    throughput_parser.add_argument("--model", choices=sorted(PAPER_MODEL_DIMENSIONS), default="resnet50")
+    throughput_parser.add_argument("--device", choices=["cpu", "gpu"], default="cpu")
+    throughput_parser.add_argument("--workers", type=int, default=None)
+    throughput_parser.add_argument("--servers", type=int, default=None)
+    throughput_parser.add_argument("--byzantine-workers", type=int, default=3)
+    throughput_parser.add_argument("--byzantine-servers", type=int, default=1)
+    throughput_parser.add_argument("--gar", default="multi-krum")
+    throughput_parser.set_defaults(handler=_cmd_throughput)
+
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("deployments :", ", ".join(sorted(DEPLOYMENTS)))
+    print("GARs        :", ", ".join(available_gars()))
+    print("attacks     :", ", ".join(available_attacks()))
+    print("models      :", ", ".join(sorted(MODEL_REGISTRY)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ClusterConfig(
+        deployment=args.deployment,
+        num_workers=args.workers,
+        num_byzantine_workers=args.byzantine_workers,
+        num_attacking_workers=args.attacking_workers,
+        num_servers=args.servers,
+        num_byzantine_servers=args.byzantine_servers,
+        num_attacking_servers=args.attacking_servers,
+        worker_attack=args.attack,
+        server_attack=args.attack,
+        gradient_gar=args.gar,
+        model_gar=args.model_gar,
+        model=args.model,
+        dataset=args.dataset,
+        dataset_size=args.dataset_size,
+        batch_size=args.batch_size,
+        learning_rate=args.learning_rate,
+        num_iterations=args.iterations,
+        accuracy_every=args.accuracy_every,
+        asynchronous=args.asynchronous,
+        non_iid=args.non_iid,
+        seed=args.seed,
+    )
+    result = Controller(config).run()
+    print(result.summary())
+    for iteration, accuracy in result.accuracy_history:
+        print(f"  iteration {iteration:4d}  accuracy {accuracy:.3f}")
+    breakdown = result.breakdown
+    print(
+        "per-iteration time: "
+        f"compute {breakdown['computation']:.4f}s, "
+        f"communication {breakdown['communication']:.4f}s, "
+        f"aggregation {breakdown['aggregation']:.4f}s"
+    )
+    if args.output:
+        result.save_json(args.output)
+        print(f"result written to {args.output}")
+    return 0
+
+
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    from repro.apps.throughput import ThroughputModel
+
+    framework = "tensorflow" if args.device == "cpu" else "pytorch"
+    workers = args.workers if args.workers is not None else (18 if args.device == "cpu" else 10)
+    servers = args.servers if args.servers is not None else (6 if args.device == "cpu" else 3)
+    model = ThroughputModel(
+        model=args.model,
+        device=args.device,
+        framework=framework,
+        num_workers=workers,
+        num_byzantine_workers=args.byzantine_workers,
+        num_servers=servers,
+        num_byzantine_servers=args.byzantine_servers,
+        gradient_gar=args.gar,
+        model_gar="median",
+    )
+    vanilla_total = model.breakdown("vanilla").total
+    print(f"model={args.model}, device={args.device}, {workers} workers / {servers} servers")
+    print(f"{'deployment':16s} {'compute':>9s} {'comm':>9s} {'agg':>9s} {'total':>9s} {'slowdown':>9s}")
+    for deployment in ["vanilla", "aggregathor", "crash-tolerant", "ssmw", "msmw", "decentralized"]:
+        b = model.breakdown(deployment)
+        print(
+            f"{deployment:16s} {b.computation:9.3f} {b.communication:9.3f} "
+            f"{b.aggregation:9.3f} {b.total:9.3f} {b.total / vanilla_total:8.2f}x"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

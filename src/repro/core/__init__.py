@@ -1,0 +1,46 @@
+"""Garfield's main objects and training infrastructure.
+
+This package mirrors the component diagram of Figure 1 in the paper:
+
+* :class:`~repro.core.server.Server` and :class:`~repro.core.worker.Worker`
+  — the two main objects, with the ``get_gradients()`` / ``get_models()``
+  networking abstractions on the server side.
+* :class:`~repro.core.byzantine.ByzantineServer` and
+  :class:`~repro.core.byzantine.ByzantineWorker` — subclasses implementing
+  the attacks of :mod:`repro.attacks`.
+* :mod:`repro.core.cluster` / :mod:`repro.core.controller` — cluster
+  definition, parameter parsing and deployment construction.
+* :mod:`repro.core.experiment` — the model / dataset registry.
+* :mod:`repro.core.metrics` — accuracy, throughput, latency breakdown and the
+  parameter-vector alignment measurements of Table 2.
+"""
+
+from repro.core.cluster import ClusterConfig
+from repro.core.controller import Controller, Deployment
+from repro.core.experiment import Experiment
+from repro.core.metrics import (
+    AlignmentProbe,
+    IterationRecord,
+    MetricsLog,
+    parameter_alignment,
+)
+from repro.core.node import Node
+from repro.core.server import Server
+from repro.core.worker import Worker
+from repro.core.byzantine import ByzantineServer, ByzantineWorker
+
+__all__ = [
+    "Node",
+    "Server",
+    "Worker",
+    "ByzantineServer",
+    "ByzantineWorker",
+    "ClusterConfig",
+    "Controller",
+    "Deployment",
+    "Experiment",
+    "MetricsLog",
+    "IterationRecord",
+    "AlignmentProbe",
+    "parameter_alignment",
+]

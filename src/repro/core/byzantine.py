@@ -1,0 +1,61 @@
+"""Byzantine variants of the main objects.
+
+``ByzantineWorker`` and ``ByzantineServer`` inherit from ``Worker`` and
+``Server`` and replace their honest replies by the output of an attack from
+:mod:`repro.attacks` — the design described in Section 3.2 ("To support
+experimenting with Byzantine behavior ...").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.attacks.base import Attack, build_attack
+from repro.core.server import Server
+from repro.core.worker import Worker
+from repro.network.message import RequestContext
+
+
+def _resolve_attack(attack: Union[str, Attack], seed: int) -> Attack:
+    if isinstance(attack, Attack):
+        return attack
+    return build_attack(attack, seed=seed)
+
+
+class ByzantineWorker(Worker):
+    """A worker that corrupts (or withholds) the gradients it serves."""
+
+    def __init__(self, *args, attack: Union[str, Attack] = "random", attack_seed: int = 7, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.attack = _resolve_attack(attack, attack_seed)
+
+    def _serve_gradient(self, context: RequestContext) -> Optional[np.ndarray]:
+        honest = super()._serve_gradient(context)
+        if honest is None:  # pragma: no cover - defensive, workers always reply
+            return None
+        return self.attack(honest)
+
+
+class ByzantineServer(Server):
+    """A server replica that corrupts the model state it serves to peers.
+
+    Its *own* training behaviour is unchanged (a Byzantine machine may well do
+    the honest computation locally); only what it tells other nodes is
+    malicious.
+    """
+
+    def __init__(self, *args, attack: Union[str, Attack] = "random", attack_seed: int = 11, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.attack = _resolve_attack(attack, attack_seed)
+
+    def _serve_model(self, context: RequestContext) -> Optional[np.ndarray]:
+        honest = super()._serve_model(context)
+        return self.attack(honest)
+
+    def _serve_aggregated_gradient(self, context: RequestContext) -> Optional[np.ndarray]:
+        honest = super()._serve_aggregated_gradient(context)
+        if honest is None:
+            return None
+        return self.attack(honest)

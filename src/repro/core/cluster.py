@@ -1,0 +1,191 @@
+"""Cluster definition, validation and (de)serialization.
+
+``ClusterConfig`` gathers every knob the Controller needs to deploy one of the
+paper's applications: cluster sizes, declared Byzantine counts, GARs, attack
+choices, model / dataset, device and framework, and training hyperparameters.
+Validation enforces the Byzantine-resilience conditions relating ``n`` and
+``f`` for the chosen GARs before any node is built.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict
+
+from repro.aggregators.base import GAR_REGISTRY
+from repro.exceptions import ConfigurationError
+from repro.network.cost import DEVICES, FRAMEWORKS
+from repro.network.topology import DEPLOYMENTS
+
+
+@dataclass
+class ClusterConfig:
+    """Complete description of one deployment."""
+
+    deployment: str = "ssmw"
+    # Cluster sizes.
+    num_workers: int = 5
+    num_byzantine_workers: int = 0
+    num_servers: int = 1
+    num_byzantine_servers: int = 0
+    # How many nodes actually behave maliciously (<= the declared numbers).
+    num_attacking_workers: int = 0
+    num_attacking_servers: int = 0
+    worker_attack: str = "random"
+    server_attack: str = "random"
+    # Aggregation.
+    gradient_gar: str = "multi-krum"
+    model_gar: str = "median"
+    # Experiment.
+    model: str = "mnist_cnn"
+    dataset: str = "mnist"
+    dataset_size: int = 600
+    test_fraction: float = 0.2
+    dataset_noise: float = 0.8
+    batch_size: int = 16
+    learning_rate: float = 0.05
+    momentum: float = 0.0
+    #: Worker-side (distributed) momentum applied before gradients are sent.
+    worker_momentum: float = 0.0
+    # Infrastructure.
+    device: str = "cpu"
+    framework: str = "tensorflow"
+    asynchronous: bool = False
+    non_iid: bool = False
+    dirichlet_alpha: float = 0.5
+    contract_steps: int = 1
+    #: When true, every server replica pulling a gradient at the same iteration
+    #: receives a fresh mini-batch estimate (models asynchronous gradient views
+    #: across replicas); when false, workers compute one gradient per iteration
+    #: and serve it to every replica (push semantics).
+    fresh_gradients_per_replica: bool = False
+    # Run control.
+    num_iterations: int = 30
+    accuracy_every: int = 10
+    seed: int = 1
+    straggler_factors: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check structural and Byzantine-resilience constraints."""
+        if self.deployment not in DEPLOYMENTS:
+            raise ConfigurationError(
+                f"unknown deployment '{self.deployment}'; choose from {DEPLOYMENTS}"
+            )
+        if self.num_workers < 1:
+            raise ConfigurationError("need at least one worker")
+        if self.num_iterations < 1:
+            raise ConfigurationError("need at least one training iteration")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be positive")
+        if not 0 <= self.num_byzantine_workers < self.num_workers:
+            raise ConfigurationError("need 0 <= f_w < n_w")
+        if self.num_attacking_workers > self.num_byzantine_workers:
+            raise ConfigurationError("attacking workers cannot exceed declared Byzantine workers")
+        if self.num_attacking_servers > self.num_byzantine_servers:
+            raise ConfigurationError("attacking servers cannot exceed declared Byzantine servers")
+        if self.device not in DEVICES:
+            raise ConfigurationError(f"unknown device '{self.device}'; choose from {sorted(DEVICES)}")
+        if self.framework not in FRAMEWORKS:
+            raise ConfigurationError(
+                f"unknown framework '{self.framework}'; choose from {sorted(FRAMEWORKS)}"
+            )
+        if self.gradient_gar not in GAR_REGISTRY:
+            raise ConfigurationError(f"unknown gradient GAR '{self.gradient_gar}'")
+        if self.model_gar not in GAR_REGISTRY:
+            raise ConfigurationError(f"unknown model GAR '{self.model_gar}'")
+
+        if self.deployment in ("vanilla", "aggregathor", "ssmw"):
+            if self.num_servers != 1:
+                raise ConfigurationError(f"{self.deployment} uses exactly one parameter server")
+            if self.num_byzantine_servers != 0:
+                raise ConfigurationError(f"{self.deployment} assumes a trusted server (f_ps = 0)")
+        if self.deployment in ("crash-tolerant", "msmw"):
+            if self.num_servers < 2:
+                raise ConfigurationError(f"{self.deployment} needs at least two server replicas")
+            if not 0 <= self.num_byzantine_servers < self.num_servers:
+                raise ConfigurationError("need 0 <= f_ps < n_ps")
+        if self.deployment == "decentralized" and self.num_servers != 0:
+            # The decentralized app has no distinct servers; normalise silently.
+            self.num_servers = 0
+
+        # GAR resilience conditions on the gradient side.
+        gar_cls = GAR_REGISTRY[self.gradient_gar]
+        q_gradients = self.gradient_quorum()
+        if q_gradients < gar_cls.minimum_inputs(self.num_byzantine_workers):
+            raise ConfigurationError(
+                f"GAR '{self.gradient_gar}' needs at least "
+                f"{gar_cls.minimum_inputs(self.num_byzantine_workers)} gradients to tolerate "
+                f"f_w={self.num_byzantine_workers}, but the deployment only collects {q_gradients}"
+            )
+        # ... and on the model side for replicated-server deployments.
+        if self.deployment == "msmw":
+            model_gar_cls = GAR_REGISTRY[self.model_gar]
+            q_models = self.model_quorum() + 1  # peers plus own model
+            if q_models < model_gar_cls.minimum_inputs(self.num_byzantine_servers):
+                raise ConfigurationError(
+                    f"GAR '{self.model_gar}' needs at least "
+                    f"{model_gar_cls.minimum_inputs(self.num_byzantine_servers)} models to tolerate "
+                    f"f_ps={self.num_byzantine_servers}, but the deployment only aggregates {q_models}"
+                )
+
+    # ------------------------------------------------------------------ #
+    def gradient_quorum(self) -> int:
+        """How many gradients a server waits for per iteration.
+
+        Synchronous deployments wait for all workers; asynchronous ones (and
+        the decentralized application, per Listing 3) wait only for the
+        fastest ``n_w - f_w``.
+        """
+        if self.deployment == "decentralized":
+            return self.num_workers - self.num_byzantine_workers
+        if self.asynchronous:
+            return self.num_workers - self.num_byzantine_workers
+        return self.num_workers
+
+    def model_quorum(self) -> int:
+        """How many peer models a server replica waits for per iteration."""
+        if self.deployment == "decentralized":
+            return max(1, self.num_workers - self.num_byzantine_workers - 1)
+        if self.num_servers <= 1:
+            return 0
+        if self.asynchronous:
+            return max(1, self.num_servers - self.num_byzantine_servers - 1)
+        return self.num_servers - 1
+
+    @property
+    def effective_batch_size(self) -> int:
+        return self.batch_size * self.num_workers
+
+    # ------------------------------------------------------------------ #
+    # (De)serialization — the Controller's "parsing experiment parameters".
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """Plain-dict representation of the configuration."""
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON representation of the configuration."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ClusterConfig":
+        """Build (and validate) a configuration from a plain dict.
+
+        Unknown keys raise :class:`ConfigurationError` so typos in experiment
+        files fail loudly instead of silently using defaults.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown configuration keys: {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterConfig":
+        """Build a configuration from its JSON representation."""
+        return cls.from_dict(json.loads(text))

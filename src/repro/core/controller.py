@@ -1,0 +1,280 @@
+"""The Controller module: cluster deployment and experiment launching.
+
+In the paper the Controller parses cluster information (node jobs, IPs,
+ports), starts training over SSH and parses experiment parameters.  In this
+in-process reproduction it turns a :class:`~repro.core.cluster.ClusterConfig`
+into a fully wired :class:`Deployment` — transport, servers, workers,
+Byzantine variants, GAR instances, datasets — and launches the training loop
+of the selected application from :mod:`repro.apps`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.aggregators.base import GAR, init as init_gar
+from repro.core.byzantine import ByzantineServer, ByzantineWorker
+from repro.core.cluster import ClusterConfig
+from repro.core.experiment import Experiment
+from repro.core.metrics import AlignmentProbe, MetricsLog
+from repro.core.server import Server
+from repro.core.worker import Worker
+from repro.datasets.partition import partition_dataset
+from repro.datasets.synthetic import Dataset
+from repro.exceptions import ConfigurationError
+from repro.network.cost import DEVICES, FRAMEWORKS, CostModel
+from repro.network.failures import FailureInjector
+from repro.network.transport import Transport
+
+
+@dataclass
+class Deployment:
+    """A fully constructed cluster, ready to be driven by an application."""
+
+    config: ClusterConfig
+    transport: Transport
+    experiment: Experiment
+    servers: List[Server]
+    workers: List[Worker]
+    test_dataset: Dataset
+    gradient_gar: GAR
+    model_gar: Optional[GAR]
+    cost_model: CostModel
+    metrics: MetricsLog
+    alignment: AlignmentProbe = field(default_factory=lambda: AlignmentProbe(every=20))
+
+    @property
+    def honest_servers(self) -> List[Server]:
+        return [s for s in self.servers if not isinstance(s, ByzantineServer)]
+
+    @property
+    def honest_workers(self) -> List[Worker]:
+        return [w for w in self.workers if not isinstance(w, ByzantineWorker)]
+
+    @property
+    def primary(self) -> Server:
+        """The first honest server — the reporting replica for metrics."""
+        honest = self.honest_servers
+        if not honest:
+            raise ConfigurationError("deployment has no honest server to report from")
+        return honest[0]
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one application run."""
+
+    config: ClusterConfig
+    metrics: MetricsLog
+    accuracy_history: List[tuple]
+    final_accuracy: Optional[float]
+    throughput: float
+    breakdown: Dict[str, float]
+    alignment_samples: List[Dict[str, float]] = field(default_factory=list)
+    messages_sent: int = 0
+    bytes_sent: int = 0
+
+    def summary(self) -> str:
+        acc = f"{self.final_accuracy:.3f}" if self.final_accuracy is not None else "n/a"
+        return (
+            f"{self.config.deployment}: final accuracy {acc}, "
+            f"throughput {self.throughput:.3f} updates/s over {len(self.metrics)} iterations"
+        )
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation used by the CLI and result archiving."""
+        return {
+            "config": self.config.to_dict(),
+            "final_accuracy": self.final_accuracy,
+            "throughput": self.throughput,
+            "breakdown": dict(self.breakdown),
+            "accuracy_history": [[int(i), float(a)] for i, a in self.accuracy_history],
+            "alignment_samples": [dict(sample) for sample in self.alignment_samples],
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "iterations": len(self.metrics),
+            "total_simulated_time": self.metrics.total_time,
+        }
+
+    def save_json(self, path) -> None:
+        """Write :meth:`to_dict` to ``path`` as JSON."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+
+
+class Controller:
+    """Builds deployments and runs applications."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    def build(self) -> Deployment:
+        """Construct every node of the configured deployment."""
+        config = self.config
+        device = DEVICES[config.device]
+        framework = FRAMEWORKS[config.framework]
+        cost_model = CostModel(device=device, framework=framework)
+
+        experiment = Experiment(
+            model_name=config.model,
+            dataset_name=config.dataset,
+            dataset_size=config.dataset_size,
+            test_fraction=config.test_fraction,
+            noise=config.dataset_noise,
+            seed=config.seed,
+        )
+        train_set, test_set = experiment.build_dataset()
+        shards = partition_dataset(
+            train_set,
+            config.num_workers,
+            iid=not config.non_iid,
+            alpha=config.dirichlet_alpha,
+            seed=config.seed,
+        )
+
+        failures = FailureInjector(seed=config.seed)
+        transport = Transport(failures=failures, seed=config.seed)
+        for node_id, factor in config.straggler_factors.items():
+            failures.set_straggler(node_id, factor)
+
+        gradient_gar = self._build_gradient_gar()
+        model_gar = self._build_model_gar()
+
+        workers = self._build_workers(config, transport, experiment, shards, device, framework, cost_model)
+        servers = self._build_servers(config, transport, experiment, test_set, device, framework, cost_model, workers)
+
+        metrics = MetricsLog(deployment=config.deployment)
+        return Deployment(
+            config=config,
+            transport=transport,
+            experiment=experiment,
+            servers=servers,
+            workers=workers,
+            test_dataset=test_set,
+            gradient_gar=gradient_gar,
+            model_gar=model_gar,
+            cost_model=cost_model,
+            metrics=metrics,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _build_gradient_gar(self) -> GAR:
+        config = self.config
+        if config.deployment in ("vanilla", "crash-tolerant"):
+            # Non-Byzantine baselines average the workers' gradients.
+            return init_gar("average", n=config.gradient_quorum(), f=0)
+        return init_gar(
+            config.gradient_gar, n=config.gradient_quorum(), f=config.num_byzantine_workers
+        )
+
+    def _build_model_gar(self) -> Optional[GAR]:
+        config = self.config
+        if config.deployment == "msmw":
+            return init_gar(
+                config.model_gar, n=config.model_quorum() + 1, f=config.num_byzantine_servers
+            )
+        if config.deployment == "decentralized":
+            return init_gar(
+                config.model_gar, n=config.model_quorum() + 1, f=config.num_byzantine_workers
+            )
+        if config.deployment == "crash-tolerant":
+            return init_gar("average", n=max(1, config.model_quorum() + 1), f=0)
+        return None
+
+    # ------------------------------------------------------------------ #
+    def _build_workers(self, config, transport, experiment, shards, device, framework, cost_model) -> List[Worker]:
+        workers: List[Worker] = []
+        attacking = set(range(config.num_workers - config.num_attacking_workers, config.num_workers))
+        for index in range(config.num_workers):
+            node_id = f"worker-{index}"
+            model = experiment.build_model(seed=config.seed)
+            kwargs = dict(
+                node_id=node_id,
+                transport=transport,
+                model=model,
+                dataset=shards[index],
+                batch_size=min(config.batch_size, len(shards[index])),
+                device=device,
+                framework=framework,
+                seed=config.seed + index,
+                cost_model=cost_model,
+                cache_gradients=not config.fresh_gradients_per_replica,
+                momentum=config.worker_momentum,
+            )
+            if index in attacking:
+                workers.append(
+                    ByzantineWorker(attack=config.worker_attack, attack_seed=config.seed + index, **kwargs)
+                )
+            else:
+                workers.append(Worker(**kwargs))
+        return workers
+
+    def _build_servers(
+        self, config, transport, experiment, test_set, device, framework, cost_model, workers
+    ) -> List[Server]:
+        worker_ids = [w.node_id for w in workers]
+        if config.deployment == "decentralized":
+            num_servers = config.num_workers
+            attacking = set(range(num_servers - config.num_attacking_workers, num_servers))
+        else:
+            num_servers = config.num_servers
+            attacking = set(range(num_servers - config.num_attacking_servers, num_servers))
+
+        server_ids = [f"server-{index}" for index in range(num_servers)]
+        servers: List[Server] = []
+        for index in range(num_servers):
+            node_id = server_ids[index]
+            model = experiment.build_model(seed=config.seed)  # identical initial state on all replicas
+            kwargs = dict(
+                node_id=node_id,
+                transport=transport,
+                model=model,
+                workers=worker_ids,
+                servers=server_ids,
+                test_dataset=test_set,
+                learning_rate=config.learning_rate,
+                momentum=config.momentum,
+                device=device,
+                framework=framework,
+                cost_model=cost_model,
+            )
+            if index in attacking:
+                servers.append(
+                    ByzantineServer(attack=config.server_attack, attack_seed=config.seed + 100 + index, **kwargs)
+                )
+            else:
+                servers.append(Server(**kwargs))
+        return servers
+
+    # ------------------------------------------------------------------ #
+    def run(self, deployment: Optional[Deployment] = None) -> TrainingResult:
+        """Build (if needed) and run the configured application end to end."""
+        from repro.apps import run_application  # imported lazily to avoid a cycle
+
+        deployment = deployment or self.build()
+        run_application(deployment)
+        return self.collect_result(deployment)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def collect_result(deployment: Deployment) -> TrainingResult:
+        metrics = deployment.metrics
+        stats = deployment.transport.stats
+        return TrainingResult(
+            config=deployment.config,
+            metrics=metrics,
+            accuracy_history=metrics.accuracies,
+            final_accuracy=metrics.final_accuracy,
+            throughput=metrics.throughput(),
+            breakdown=metrics.breakdown(),
+            alignment_samples=list(deployment.alignment.samples),
+            messages_sent=stats.messages_sent,
+            bytes_sent=stats.bytes_sent,
+        )

@@ -1,0 +1,74 @@
+"""The Experiment module: a unified model / dataset registry.
+
+In the paper this module "abstracts the available models and datasets for
+training" behind one interface regardless of the underlying framework (slim,
+Keras or TorchVision).  Here it maps dataset names to the synthetic
+generators and model names to the :mod:`repro.nn.models` zoo, taking care of
+matching input shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.datasets.synthetic import Dataset, make_synthetic_cifar10, make_synthetic_mnist
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import Module
+from repro.nn.models import build_model
+
+#: Datasets known to the experiment module and their (channels, height, width).
+DATASET_SHAPES = {
+    "mnist": (1, 28, 28),
+    "cifar10": (3, 32, 32),
+}
+
+
+@dataclass
+class Experiment:
+    """Builds matching (model, dataset) pairs for a named experiment."""
+
+    model_name: str = "mnist_cnn"
+    dataset_name: str = "mnist"
+    dataset_size: int = 600
+    test_fraction: float = 0.2
+    noise: float = 0.8
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.dataset_name not in DATASET_SHAPES:
+            raise ConfigurationError(
+                f"unknown dataset '{self.dataset_name}'; choose from {sorted(DATASET_SHAPES)}"
+            )
+        if not 0.0 < self.test_fraction < 1.0:
+            raise ConfigurationError("test_fraction must lie strictly between 0 and 1")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def input_shape(self) -> Tuple[int, int, int]:
+        return DATASET_SHAPES[self.dataset_name]
+
+    def build_dataset(self) -> Tuple[Dataset, Dataset]:
+        """Return the (train, test) split of the experiment's dataset."""
+        if self.dataset_name == "mnist":
+            full = make_synthetic_mnist(self.dataset_size, noise=self.noise, seed=self.seed)
+        else:
+            full = make_synthetic_cifar10(self.dataset_size, noise=self.noise, seed=self.seed)
+        return full.split(self.test_fraction, seed=self.seed)
+
+    def build_model(self, seed: int | None = None) -> Module:
+        """Instantiate a fresh model replica compatible with the dataset shape."""
+        seed = self.seed if seed is None else seed
+        channels = self.input_shape[0]
+        name = self.model_name.lower()
+        if name == "logistic":
+            flat = int(self.input_shape[0] * self.input_shape[1] * self.input_shape[2])
+            return build_model(name, input_dim=flat, seed=seed)
+        if name == "mnist_cnn":
+            if channels != 1:
+                raise ConfigurationError("mnist_cnn expects single-channel input (mnist dataset)")
+            return build_model(name, seed=seed)
+        # The remaining models consume 3-channel 32x32 input.
+        if channels != 3:
+            raise ConfigurationError(f"model '{name}' expects 3-channel input (cifar10 dataset)")
+        return build_model(name, seed=seed)

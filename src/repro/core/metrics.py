@@ -1,0 +1,134 @@
+"""Metric collection: accuracy, throughput, latency breakdown, alignment.
+
+``MetricsLog`` records one :class:`IterationRecord` per training step and can
+summarise the two metrics the paper uses (accuracy and throughput) plus the
+per-phase latency breakdown of Figure 7/16.  ``parameter_alignment``
+reproduces the Table 2 measurement: the cosine of the angle between the
+largest-norm difference vectors of the replicas' parameter vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils import cosine_similarity
+
+
+@dataclass
+class IterationRecord:
+    """Timing and quality metrics of a single training iteration."""
+
+    iteration: int
+    compute_time: float = 0.0
+    communication_time: float = 0.0
+    aggregation_time: float = 0.0
+    accuracy: Optional[float] = None
+    loss: Optional[float] = None
+
+    @property
+    def total_time(self) -> float:
+        return self.compute_time + self.communication_time + self.aggregation_time
+
+
+@dataclass
+class MetricsLog:
+    """Accumulates per-iteration records for one deployment run."""
+
+    deployment: str = ""
+    records: List[IterationRecord] = field(default_factory=list)
+
+    def add(self, record: IterationRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_time(self) -> float:
+        return float(sum(r.total_time for r in self.records))
+
+    @property
+    def accuracies(self) -> List[Tuple[int, float]]:
+        return [(r.iteration, r.accuracy) for r in self.records if r.accuracy is not None]
+
+    @property
+    def final_accuracy(self) -> Optional[float]:
+        accuracies = self.accuracies
+        return accuracies[-1][1] if accuracies else None
+
+    def throughput(self) -> float:
+        """Model updates per simulated second."""
+        total = self.total_time
+        return len(self.records) / total if total > 0 else 0.0
+
+    def breakdown(self) -> Dict[str, float]:
+        """Average per-iteration latency split into compute / communication / aggregation."""
+        if not self.records:
+            return {"computation": 0.0, "communication": 0.0, "aggregation": 0.0}
+        n = len(self.records)
+        return {
+            "computation": sum(r.compute_time for r in self.records) / n,
+            "communication": sum(r.communication_time for r in self.records) / n,
+            "aggregation": sum(r.aggregation_time for r in self.records) / n,
+        }
+
+    def accuracy_over_time(self) -> List[Tuple[float, float]]:
+        """(simulated time, accuracy) pairs — the appendix's convergence-with-time view."""
+        out = []
+        elapsed = 0.0
+        for record in self.records:
+            elapsed += record.total_time
+            if record.accuracy is not None:
+                out.append((elapsed, record.accuracy))
+        return out
+
+
+def parameter_alignment(
+    parameter_vectors: Sequence[np.ndarray], top_k: int = 2
+) -> Dict[str, float]:
+    """The Table 2 measurement.
+
+    Computes all pairwise difference vectors between the replicas' parameter
+    vectors, keeps the ``top_k`` with the largest norms and reports the cosine
+    of the angle between the two largest ones together with their norms.
+    """
+    vectors = [np.asarray(v, dtype=np.float64).ravel() for v in parameter_vectors]
+    if len(vectors) < 2:
+        raise ValueError("alignment needs at least two parameter vectors")
+    differences: List[np.ndarray] = []
+    for i in range(len(vectors)):
+        for j in range(i + 1, len(vectors)):
+            differences.append(vectors[i] - vectors[j])
+    norms = np.array([np.linalg.norm(d) for d in differences])
+    order = np.argsort(norms)[::-1][:top_k]
+    top = [differences[i] for i in order]
+    top_norms = [float(norms[i]) for i in order]
+    if len(top) < 2:
+        cos_phi = 1.0
+    else:
+        cos_phi = abs(cosine_similarity(top[0], top[1]))
+    result = {"cos_phi": float(cos_phi)}
+    for rank, norm in enumerate(top_norms, start=1):
+        result[f"max_diff{rank}"] = norm
+    return result
+
+
+@dataclass
+class AlignmentProbe:
+    """Samples :func:`parameter_alignment` every ``every`` steps during a run."""
+
+    every: int = 20
+    warmup: int = 0
+    samples: List[Dict[str, float]] = field(default_factory=list)
+
+    def maybe_sample(self, iteration: int, parameter_vectors: Sequence[np.ndarray]) -> Optional[Dict[str, float]]:
+        if iteration < self.warmup or iteration % self.every != 0:
+            return None
+        sample = parameter_alignment(parameter_vectors)
+        sample["step"] = float(iteration)
+        self.samples.append(sample)
+        return sample

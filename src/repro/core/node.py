@@ -1,0 +1,34 @@
+"""Base class shared by servers and workers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.cost import CPU, CostModel, Device, TENSORFLOW, FrameworkProfile
+from repro.network.transport import Transport
+
+
+class Node:
+    """A participant in the cluster, attached to the shared transport.
+
+    Every node has an identifier, a device (CPU or GPU) and a cost model used
+    to account the simulated time of its local computations.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        transport: Transport,
+        device: Device = CPU,
+        framework: FrameworkProfile = TENSORFLOW,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.transport = transport
+        self.device = device
+        self.framework = framework
+        self.cost_model = cost_model or CostModel(device=device, framework=framework)
+        transport.register_node(node_id, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(id={self.node_id!r}, device={self.device.name})"

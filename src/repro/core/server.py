@@ -1,0 +1,226 @@
+"""The Server object — the centre of Garfield's object-oriented design.
+
+A server stores and updates the model state.  Its networking interface is the
+pair of abstractions from Section 3.2:
+
+* ``get_gradients(t, q)`` — pull gradient estimates from the workers and
+  return the fastest ``q`` of them (``q = n_w`` means synchronous operation).
+* ``get_models(q)`` — pull model states from the other server replicas and
+  return the fastest ``q``.
+
+On top of those it exposes ``update_model()``, ``write_model()`` and
+``compute_accuracy()``, matching Listing 1–3 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.node import Node
+from repro.datasets.synthetic import Dataset
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.network.cost import CPU, CostModel, Device, TENSORFLOW, FrameworkProfile
+from repro.network.message import RequestContext
+from repro.network.transport import Transport
+from repro.nn.layers import Module
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.optim import SGD, Optimizer
+from repro.nn.parameters import get_flat_parameters, set_flat_parameters
+from repro.nn.tensor import Tensor
+
+
+class Server(Node):
+    """Holds the model state, collects gradients/models and applies updates."""
+
+    def __init__(
+        self,
+        node_id: str,
+        transport: Transport,
+        model: Module,
+        workers: Sequence[str] = (),
+        servers: Sequence[str] = (),
+        test_dataset: Optional[Dataset] = None,
+        optimizer: Optional[Optimizer] = None,
+        learning_rate: float = 0.05,
+        momentum: float = 0.0,
+        device: Device = CPU,
+        framework: FrameworkProfile = TENSORFLOW,
+        cost_model: Optional[CostModel] = None,
+        eval_batch_size: int = 256,
+    ) -> None:
+        super().__init__(node_id, transport, device=device, framework=framework, cost_model=cost_model)
+        self.model = model
+        self.workers = list(workers)
+        self.servers = [s for s in servers if s != node_id]
+        self.test_dataset = test_dataset
+        self.optimizer = optimizer or SGD(model.parameters(), lr=learning_rate, momentum=momentum)
+        self.eval_batch_size = eval_batch_size
+
+        # Communication accounting (simulated seconds / message counts), from
+        # this server's own perspective.
+        self.gradient_comm_time = 0.0
+        self.model_comm_time = 0.0
+        self.messages_exchanged = 0
+        self.iterations_run = 0
+
+        #: Latest aggregated gradient — served to peers during the
+        #: decentralized *contract* step (Listing 3).
+        self.latest_aggr_grad: Optional[np.ndarray] = None
+
+        transport.register_handler(node_id, "model", self._serve_model)
+        transport.register_handler(node_id, "aggregated_gradient", self._serve_aggregated_gradient)
+
+    # ------------------------------------------------------------------ #
+    # Model state accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        return self.model.num_parameters()
+
+    def flat_parameters(self) -> np.ndarray:
+        """The current model state as one flat vector."""
+        return get_flat_parameters(self.model)
+
+    def write_model(self, flat_model: np.ndarray) -> None:
+        """Overwrite the model state (used after aggregating replica models)."""
+        flat_model = np.asarray(flat_model, dtype=np.float64)
+        if flat_model.size != self.dimension:
+            raise ConfigurationError(
+                f"write_model received a vector of dimension {flat_model.size}, "
+                f"model has {self.dimension}"
+            )
+        set_flat_parameters(self.model, flat_model)
+
+    def update_model(self, aggregated_gradient: np.ndarray) -> None:
+        """Apply one SGD step using the aggregated gradient (Equation 2)."""
+        aggregated_gradient = np.asarray(aggregated_gradient, dtype=np.float64)
+        if not np.all(np.isfinite(aggregated_gradient)):
+            raise TrainingError("aggregated gradient contains non-finite values")
+        self.optimizer.apply_flat_gradient(aggregated_gradient)
+        self.iterations_run += 1
+
+    # ------------------------------------------------------------------ #
+    # Networking abstractions
+    # ------------------------------------------------------------------ #
+    def get_gradients(self, iteration: int, quorum: Optional[int] = None) -> List[np.ndarray]:
+        """Pull gradient estimates from the workers; return the fastest ``quorum``.
+
+        ``quorum`` defaults to the total number of workers (synchronous,
+        fault-free operation).  The current model state is shipped with the
+        request so workers compute their estimate at the right point.
+        """
+        if not self.workers:
+            raise ConfigurationError("this server has no workers to pull gradients from")
+        quorum = len(self.workers) if quorum is None else quorum
+        replies, elapsed = self.transport.pull_many(
+            self.node_id,
+            self.workers,
+            "gradient",
+            quorum=quorum,
+            iteration=iteration,
+            payload=self.flat_parameters(),
+        )
+        self.gradient_comm_time += elapsed
+        # Requests carry the model state and every reply carries a gradient —
+        # both are d-sized messages through this server's NIC.
+        self.messages_exchanged += len(self.workers) + len(replies)
+        return [np.asarray(reply.payload, dtype=np.float64) for reply in replies]
+
+    def get_models(self, quorum: Optional[int] = None, iteration: int = 0) -> List[np.ndarray]:
+        """Pull model states from the other server replicas; return the fastest ``quorum``."""
+        if not self.servers:
+            raise ConfigurationError("this server has no peer replicas to pull models from")
+        quorum = len(self.servers) if quorum is None else quorum
+        replies, elapsed = self.transport.pull_many(
+            self.node_id, self.servers, "model", quorum=quorum, iteration=iteration
+        )
+        self.model_comm_time += elapsed
+        self.messages_exchanged += len(replies)
+        return [np.asarray(reply.payload, dtype=np.float64) for reply in replies]
+
+    def get_aggr_grads(self, quorum: Optional[int] = None, iteration: int = 0) -> List[np.ndarray]:
+        """Pull the latest aggregated gradients from peers (decentralized contract step)."""
+        if not self.servers:
+            raise ConfigurationError("this server has no peers to pull aggregated gradients from")
+        quorum = len(self.servers) if quorum is None else quorum
+        replies, elapsed = self.transport.pull_many(
+            self.node_id, self.servers, "aggregated_gradient", quorum=quorum, iteration=iteration
+        )
+        self.model_comm_time += elapsed
+        self.messages_exchanged += len(replies)
+        return [np.asarray(reply.payload, dtype=np.float64) for reply in replies]
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def save_checkpoint(self, path) -> None:
+        """Persist the model state and iteration counter to an ``.npz`` file.
+
+        Checkpointing is the classical (weaker) alternative to replication for
+        surviving server failures; it is provided so applications can combine
+        both.
+        """
+        np.savez(
+            path,
+            parameters=self.flat_parameters(),
+            iterations_run=np.asarray(self.iterations_run),
+        )
+
+    def load_checkpoint(self, path) -> int:
+        """Restore a checkpoint written by :meth:`save_checkpoint`.
+
+        Returns the iteration counter stored in the checkpoint.
+        """
+        with np.load(path) as data:
+            parameters = data["parameters"]
+            iterations = int(data["iterations_run"])
+        self.write_model(parameters)
+        self.iterations_run = iterations
+        return iterations
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def compute_accuracy(self, dataset: Optional[Dataset] = None) -> float:
+        """Top-1 accuracy of the current model on the test set."""
+        dataset = dataset or self.test_dataset
+        if dataset is None:
+            raise ConfigurationError("no test dataset available for compute_accuracy")
+        self.model.eval()
+        correct = 0
+        total = 0
+        for start in range(0, len(dataset), self.eval_batch_size):
+            images = dataset.images[start : start + self.eval_batch_size]
+            labels = dataset.labels[start : start + self.eval_batch_size]
+            logits = self.model(Tensor(images))
+            correct += int((logits.data.argmax(axis=-1) == labels).sum())
+            total += len(labels)
+        self.model.train()
+        return correct / total if total else 0.0
+
+    def compute_loss(self, dataset: Optional[Dataset] = None) -> float:
+        """Mean cross-entropy loss of the current model on the test set."""
+        dataset = dataset or self.test_dataset
+        if dataset is None:
+            raise ConfigurationError("no test dataset available for compute_loss")
+        self.model.eval()
+        loss_fn = CrossEntropyLoss()
+        losses = []
+        for start in range(0, len(dataset), self.eval_batch_size):
+            images = dataset.images[start : start + self.eval_batch_size]
+            labels = dataset.labels[start : start + self.eval_batch_size]
+            logits = self.model(Tensor(images))
+            losses.append(loss_fn(logits, labels).item())
+        self.model.train()
+        return float(np.mean(losses)) if losses else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Transport handlers (what this server serves to its peers)
+    # ------------------------------------------------------------------ #
+    def _serve_model(self, context: RequestContext) -> np.ndarray:
+        return self.flat_parameters()
+
+    def _serve_aggregated_gradient(self, context: RequestContext) -> Optional[np.ndarray]:
+        return self.latest_aggr_grad

@@ -1,0 +1,32 @@
+"""Synthetic datasets, loaders and partitioning for the Garfield reproduction.
+
+The original paper trains on MNIST and CIFAR-10.  Those datasets are not
+available offline, so :mod:`repro.datasets.synthetic` generates procedural
+image-classification problems with the same shapes (28x28x1 and 32x32x3, 10
+classes) and a controllable difficulty, which preserves the learning dynamics
+the Garfield evaluation depends on (noisy per-worker gradients, accuracy that
+improves over training, sensitivity to poisoned updates).
+"""
+
+from repro.datasets.synthetic import (
+    Dataset,
+    make_classification,
+    make_synthetic_cifar10,
+    make_synthetic_mnist,
+)
+from repro.datasets.loader import DataLoader
+from repro.datasets.partition import partition_dataset, partition_iid, partition_non_iid
+from repro.datasets.poisoning import corrupt_images, flip_labels
+
+__all__ = [
+    "Dataset",
+    "make_classification",
+    "make_synthetic_mnist",
+    "make_synthetic_cifar10",
+    "DataLoader",
+    "partition_dataset",
+    "partition_iid",
+    "partition_non_iid",
+    "flip_labels",
+    "corrupt_images",
+]

@@ -1,0 +1,55 @@
+"""Mini-batch iteration over :class:`~repro.datasets.synthetic.Dataset`."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.datasets.synthetic import Dataset
+from repro.exceptions import DatasetError
+from repro.utils import make_rng
+
+
+class DataLoader:
+    """Cycling mini-batch sampler.
+
+    Unlike a plain epoch iterator, :meth:`next_batch` never exhausts: Garfield
+    workers are asked for a gradient at every server-driven iteration, so the
+    loader reshuffles and restarts transparently when the dataset is consumed.
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int, shuffle: bool = True, seed: int = 0) -> None:
+        if batch_size <= 0:
+            raise DatasetError("batch_size must be positive")
+        if batch_size > len(dataset):
+            raise DatasetError(
+                f"batch_size {batch_size} exceeds dataset size {len(dataset)}"
+            )
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self._rng = make_rng(seed)
+        self._order = np.arange(len(dataset))
+        self._cursor = 0
+        if shuffle:
+            self._rng.shuffle(self._order)
+
+    def __len__(self) -> int:
+        """Number of full batches per epoch."""
+        return len(self.dataset) // self.batch_size
+
+    def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the next ``(images, labels)`` mini-batch, cycling forever."""
+        if self._cursor + self.batch_size > len(self.dataset):
+            self._cursor = 0
+            if self.shuffle:
+                self._rng.shuffle(self._order)
+        indices = self._order[self._cursor : self._cursor + self.batch_size]
+        self._cursor += self.batch_size
+        return self.dataset.images[indices], self.dataset.labels[indices]
+
+    def epoch(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Iterate once over the dataset in batches (drops the ragged tail)."""
+        for _ in range(len(self)):
+            yield self.next_batch()

@@ -1,0 +1,72 @@
+"""Partitioning a dataset across workers.
+
+The paper's parameter-server applications shard data iid across workers
+(each worker holds a disjoint chunk).  The decentralized application
+explicitly targets non-iid data, so a Dirichlet-based label-skew partitioner
+is provided as well.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.datasets.synthetic import Dataset
+from repro.exceptions import DatasetError
+from repro.utils import make_rng
+
+
+def partition_iid(dataset: Dataset, num_workers: int, seed: int = 0) -> List[Dataset]:
+    """Shuffle and split the dataset into ``num_workers`` equal-size shards."""
+    if num_workers <= 0:
+        raise DatasetError("num_workers must be positive")
+    if num_workers > len(dataset):
+        raise DatasetError("more workers than examples")
+    rng = make_rng(seed)
+    order = rng.permutation(len(dataset))
+    shards = np.array_split(order, num_workers)
+    return [dataset.subset(shard) for shard in shards]
+
+
+def partition_non_iid(
+    dataset: Dataset, num_workers: int, alpha: float = 0.5, seed: int = 0
+) -> List[Dataset]:
+    """Label-skewed partition using a per-class Dirichlet(alpha) allocation.
+
+    Smaller ``alpha`` produces more heterogeneous shards (each worker sees a
+    few dominant classes), matching the non-iid regime motivating the
+    decentralized application's *contract* step.
+    """
+    if num_workers <= 0:
+        raise DatasetError("num_workers must be positive")
+    if alpha <= 0:
+        raise DatasetError("alpha must be positive")
+    rng = make_rng(seed)
+    worker_indices: List[List[int]] = [[] for _ in range(num_workers)]
+    for cls in range(dataset.num_classes):
+        cls_indices = np.flatnonzero(dataset.labels == cls)
+        rng.shuffle(cls_indices)
+        proportions = rng.dirichlet([alpha] * num_workers)
+        # Convert proportions to split points over this class's examples.
+        cuts = (np.cumsum(proportions) * len(cls_indices)).astype(int)[:-1]
+        for worker_id, chunk in enumerate(np.split(cls_indices, cuts)):
+            worker_indices[worker_id].extend(chunk.tolist())
+    shards = []
+    for worker_id, indices in enumerate(worker_indices):
+        if not indices:
+            # Guarantee every worker has at least one example to avoid
+            # degenerate loaders; steal one from the largest shard.
+            largest = max(range(num_workers), key=lambda w: len(worker_indices[w]))
+            indices = [worker_indices[largest].pop()]
+        shards.append(dataset.subset(np.asarray(sorted(indices))))
+    return shards
+
+
+def partition_dataset(
+    dataset: Dataset, num_workers: int, iid: bool = True, alpha: float = 0.5, seed: int = 0
+) -> List[Dataset]:
+    """Dispatch to :func:`partition_iid` or :func:`partition_non_iid`."""
+    if iid:
+        return partition_iid(dataset, num_workers, seed=seed)
+    return partition_non_iid(dataset, num_workers, alpha=alpha, seed=seed)

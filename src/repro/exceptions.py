@@ -1,0 +1,46 @@
+"""Exception hierarchy used across the Garfield reproduction.
+
+Every error raised by the library derives from :class:`GarfieldError` so
+applications can catch library failures with a single ``except`` clause.
+"""
+
+
+class GarfieldError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(GarfieldError):
+    """An invalid configuration was supplied (bad cluster sizes, f/n ratios...)."""
+
+
+class AggregationError(GarfieldError):
+    """A GAR could not aggregate its inputs (wrong shapes, too few vectors...)."""
+
+
+class ResilienceConditionError(ConfigurationError):
+    """The Byzantine resilience condition relating ``n`` and ``f`` is violated.
+
+    Each GAR has a minimum number of inputs ``q`` required to tolerate ``f``
+    Byzantine inputs (e.g. ``q >= 2f + 3`` for Multi-Krum).  Constructing an
+    aggregator that violates the condition raises this error.
+    """
+
+
+class CommunicationError(GarfieldError):
+    """A simulated RPC failed (timeout, crashed peer, dropped message)."""
+
+
+class TimeoutError(CommunicationError):
+    """A blocking collection (``get_gradients`` / ``get_models``) timed out."""
+
+
+class NodeCrashedError(CommunicationError):
+    """The remote node targeted by an RPC has crashed."""
+
+
+class TrainingError(GarfieldError):
+    """Training failed (diverged to NaN, no workers responded, ...)."""
+
+
+class DatasetError(GarfieldError):
+    """A dataset could not be generated or partitioned as requested."""

@@ -1,0 +1,64 @@
+"""Failure and straggler injection for the simulated transport."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.utils import make_rng
+
+
+@dataclass
+class FailureInjector:
+    """Tracks crashed nodes and per-node straggler behaviour.
+
+    * ``crash(node)`` marks a node as crashed from the current point on; pulls
+      targeting it raise :class:`~repro.exceptions.NodeCrashedError`.
+    * ``set_straggler(node, factor)`` multiplies every latency sampled for
+      replies from that node, modelling a slow machine.
+    * ``drop_probability`` lets individual messages be lost with some
+      probability (network omission faults).
+    """
+
+    seed: int = 0
+    drop_probability: float = 0.0
+    crashed: Set[str] = field(default_factory=set)
+    straggler_factors: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ValueError("drop_probability must be in [0, 1)")
+        self._rng = make_rng(self.seed)
+
+    # ------------------------------------------------------------------ #
+    def crash(self, node_id: str) -> None:
+        self.crashed.add(node_id)
+
+    def recover(self, node_id: str) -> None:
+        self.crashed.discard(node_id)
+
+    def is_crashed(self, node_id: str) -> bool:
+        return node_id in self.crashed
+
+    # ------------------------------------------------------------------ #
+    def set_straggler(self, node_id: str, factor: float) -> None:
+        if factor < 1.0:
+            raise ValueError("straggler factor must be >= 1.0")
+        self.straggler_factors[node_id] = factor
+
+    def clear_straggler(self, node_id: str) -> None:
+        self.straggler_factors.pop(node_id, None)
+
+    def latency_factor(self, node_id: str) -> float:
+        return self.straggler_factors.get(node_id, 1.0)
+
+    # ------------------------------------------------------------------ #
+    def should_drop(self) -> bool:
+        """Sample whether the next message is lost."""
+        if self.drop_probability <= 0.0:
+            return False
+        return bool(self._rng.random() < self.drop_probability)
+
+    def reset(self) -> None:
+        self.crashed.clear()
+        self.straggler_factors.clear()

@@ -1,0 +1,56 @@
+"""Message and reply records exchanged over the simulated transport."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class Message:
+    """A pull request from ``source`` to ``destination``.
+
+    ``kind`` identifies the RPC (``"gradient"``, ``"model"``,
+    ``"aggregated_gradient"`` ...), ``iteration`` is the training step the
+    request refers to and ``payload`` carries optional request arguments
+    (e.g. the current model for gradient requests in the PS architecture).
+    """
+
+    source: str
+    destination: str
+    kind: str
+    iteration: int = 0
+    payload: Any = None
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass
+class Reply:
+    """A reply to a pull request.
+
+    ``latency`` is the simulated seconds between issuing the request and the
+    reply becoming available at the requester, including serialization and
+    transfer time.  ``payload`` is ``None`` when the peer stayed silent (a
+    Byzantine drop); such replies never count towards a quorum.
+    """
+
+    source: str
+    kind: str
+    iteration: int
+    payload: Any
+    latency: float
+    nbytes: int = 0
+
+    @property
+    def is_silent(self) -> bool:
+        return self.payload is None
+
+
+@dataclass
+class RequestContext:
+    """What a registered handler receives when serving a pull request."""
+
+    requester: str
+    iteration: int
+    payload: Any = None
+    metadata: Optional[dict] = None

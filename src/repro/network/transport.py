@@ -1,0 +1,200 @@
+"""Pull-based point-to-point transport.
+
+This is the stand-in for Garfield's gRPC layer.  Every node registers a
+handler per RPC kind (``"gradient"``, ``"model"``, ...).  A requester pulls
+data from one peer (:meth:`Transport.pull`) or from many peers in parallel
+(:meth:`Transport.pull_many`), receiving the fastest ``quorum`` replies — the
+exact semantics required by ``get_gradients(t, q)`` / ``get_models(q)``.
+
+Latency is simulated, not real: each reply's latency combines a sampled link
+latency, the transfer time implied by the payload size and link bandwidth, and
+per-node straggler factors.  Because the paper parallelizes RPC calls, the
+elapsed time of a parallel pull is the latency of the q-th fastest reply, not
+the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import CommunicationError, NodeCrashedError, TimeoutError
+from repro.network.failures import FailureInjector
+from repro.network.message import Reply, RequestContext
+from repro.network.serialization import serialized_nbytes
+from repro.utils import make_rng
+
+Handler = Callable[[RequestContext], Any]
+
+
+@dataclass
+class LinkModel:
+    """Per-link latency and bandwidth parameters.
+
+    Defaults approximate the paper's testbed: 2x10 Gbps Ethernet (we use an
+    effective 10 Gbps), sub-millisecond base latency with jitter, and float32
+    payloads.
+    """
+
+    base_latency: float = 2e-4
+    jitter: float = 1e-4
+    bandwidth_bytes_per_s: float = 1.25e9  # 10 Gbps
+    bytes_per_element: int = 4
+
+    def sample_latency(self, rng: np.random.Generator, nbytes: int, factor: float = 1.0) -> float:
+        """One-way latency for a message of ``nbytes`` bytes."""
+        jitter = rng.exponential(self.jitter) if self.jitter > 0 else 0.0
+        return factor * (self.base_latency + jitter + nbytes / self.bandwidth_bytes_per_s)
+
+
+@dataclass
+class TransportStats:
+    """Counters reproducing the paper's communication accounting."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    pulls_issued: int = 0
+    time_communicating: float = 0.0
+    per_kind_messages: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, nbytes: int, latency: float) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        self.time_communicating += latency
+        self.per_kind_messages[kind] = self.per_kind_messages.get(kind, 0) + 1
+
+    def reset(self) -> None:
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.pulls_issued = 0
+        self.time_communicating = 0.0
+        self.per_kind_messages.clear()
+
+
+class Transport:
+    """In-process pull-based RPC fabric shared by all nodes of a deployment."""
+
+    def __init__(
+        self,
+        link: Optional[LinkModel] = None,
+        failures: Optional[FailureInjector] = None,
+        seed: int = 0,
+    ) -> None:
+        self.link = link or LinkModel()
+        self.failures = failures or FailureInjector(seed=seed)
+        self.stats = TransportStats()
+        self._rng = make_rng(seed)
+        self._handlers: Dict[Tuple[str, str], Handler] = {}
+        self._nodes: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register_node(self, node_id: str, node: object) -> None:
+        """Record that ``node_id`` exists (its handlers are added separately)."""
+        if node_id in self._nodes:
+            raise CommunicationError(f"node id '{node_id}' already registered")
+        self._nodes[node_id] = node
+
+    def register_handler(self, node_id: str, kind: str, handler: Handler) -> None:
+        """Register the server-side handler answering pulls of ``kind`` at ``node_id``."""
+        self._handlers[(node_id, kind)] = handler
+
+    def known_nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def has_handler(self, node_id: str, kind: str) -> bool:
+        return (node_id, kind) in self._handlers
+
+    # ------------------------------------------------------------------ #
+    # Pulls
+    # ------------------------------------------------------------------ #
+    def _payload_nbytes(self, payload: Any) -> int:
+        if payload is None:
+            return 64  # a bare header / control message
+        if isinstance(payload, np.ndarray):
+            return serialized_nbytes(payload.size, self.link.bytes_per_element)
+        if isinstance(payload, (bytes, bytearray)):
+            return len(payload)
+        if isinstance(payload, (list, tuple)):
+            return sum(self._payload_nbytes(item) for item in payload)
+        return 128
+
+    def pull(
+        self,
+        source: str,
+        destination: str,
+        kind: str,
+        iteration: int = 0,
+        payload: Any = None,
+    ) -> Reply:
+        """Pull ``kind`` data from ``destination`` on behalf of ``source``."""
+        self.stats.pulls_issued += 1
+        if self.failures.is_crashed(destination):
+            raise NodeCrashedError(f"node '{destination}' has crashed")
+        handler = self._handlers.get((destination, kind))
+        if handler is None:
+            raise CommunicationError(f"node '{destination}' serves no '{kind}' requests")
+        if self.failures.should_drop():
+            return Reply(source=destination, kind=kind, iteration=iteration, payload=None, latency=np.inf)
+
+        context = RequestContext(requester=source, iteration=iteration, payload=payload)
+        response = handler(context)
+        nbytes = self._payload_nbytes(response)
+        factor = self.failures.latency_factor(destination)
+        latency = self.link.sample_latency(self._rng, nbytes, factor)
+        reply = Reply(
+            source=destination,
+            kind=kind,
+            iteration=iteration,
+            payload=response,
+            latency=latency,
+            nbytes=nbytes,
+        )
+        self.stats.record(kind, nbytes, latency)
+        return reply
+
+    def pull_many(
+        self,
+        source: str,
+        destinations: Sequence[str],
+        kind: str,
+        quorum: int,
+        iteration: int = 0,
+        payload: Any = None,
+    ) -> Tuple[List[Reply], float]:
+        """Pull from all ``destinations`` in parallel; return the fastest ``quorum`` replies.
+
+        Returns ``(replies, elapsed)`` where ``elapsed`` is the simulated time
+        until the quorum-th reply arrived (calls are parallelized, so slower
+        replies do not add to the elapsed time).  Crashed peers and silent
+        (Byzantine drop) replies never count towards the quorum; if fewer than
+        ``quorum`` usable replies exist, :class:`TimeoutError` is raised —
+        this is exactly the liveness condition requiring ``q + f`` deployed
+        nodes in asynchronous settings.
+        """
+        if quorum <= 0:
+            raise CommunicationError("quorum must be positive")
+        if quorum > len(destinations):
+            raise CommunicationError(
+                f"quorum {quorum} exceeds the number of destinations {len(destinations)}"
+            )
+        replies: List[Reply] = []
+        for destination in destinations:
+            try:
+                reply = self.pull(source, destination, kind, iteration=iteration, payload=payload)
+            except NodeCrashedError:
+                continue
+            if not reply.is_silent and np.isfinite(reply.latency):
+                replies.append(reply)
+        if len(replies) < quorum:
+            raise TimeoutError(
+                f"only {len(replies)} usable replies for '{kind}' at iteration {iteration}, "
+                f"needed {quorum}"
+            )
+        replies.sort(key=lambda r: r.latency)
+        selected = replies[:quorum]
+        elapsed = selected[-1].latency
+        return selected, elapsed

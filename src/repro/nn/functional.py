@@ -1,0 +1,133 @@
+"""Functional building blocks that are easier to express outside the Tensor class.
+
+Currently this module hosts the im2col-based 2-D convolution and pooling
+primitives used by :mod:`repro.nn.layers`.  Shapes follow the NCHW convention
+(batch, channels, height, width).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def _im2col_indices(
+    x_shape: Tuple[int, int, int, int], kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Compute the gather indices for im2col."""
+    n, c, h, w = x_shape
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+
+    i0 = np.repeat(np.arange(kernel), kernel)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel), kernel * c)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kernel * kernel).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def _im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> Tuple[np.ndarray, int, int]:
+    n, c, h, w = x.shape
+    padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant")
+    k, i, j, out_h, out_w = _im2col_indices(x.shape, kernel, stride, padding)
+    cols = padded[:, k, i, j]  # (n, c*k*k, out_h*out_w)
+    cols = cols.transpose(1, 2, 0).reshape(c * kernel * kernel, -1)
+    return cols, out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    n, c, h, w = x_shape
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    k, i, j, out_h, out_w = _im2col_indices(x_shape, kernel, stride, padding)
+    cols_reshaped = cols.reshape(c * kernel * kernel, -1, n).transpose(2, 0, 1)
+    np.add.at(padded, (slice(None), k, i, j), cols_reshaped)
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor, stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution over NCHW input with square kernels.
+
+    ``weight`` has shape (out_channels, in_channels, k, k) and ``bias`` has
+    shape (out_channels,).
+    """
+    n, c, h, w = x.data.shape
+    out_channels, in_channels, kernel, _ = weight.data.shape
+    if in_channels != c:
+        raise ValueError(f"conv2d channel mismatch: input has {c}, weight expects {in_channels}")
+
+    cols, out_h, out_w = _im2col(x.data, kernel, stride, padding)
+    w_flat = weight.data.reshape(out_channels, -1)
+    out = w_flat @ cols + bias.data.reshape(-1, 1)
+    out = out.reshape(out_channels, out_h, out_w, n).transpose(3, 0, 1, 2)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        grad_flat = grad.transpose(1, 2, 3, 0).reshape(out_channels, -1)
+        bias._accumulate(grad_flat.sum(axis=1))
+        weight._accumulate((grad_flat @ cols.T).reshape(weight.data.shape))
+        if x.requires_grad:
+            dcols = w_flat.T @ grad_flat
+            x._accumulate(_col2im(dcols, x.data.shape, kernel, stride, padding))
+
+    return x._make_result(out, (x, weight, bias), backward)
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Max pooling over NCHW input with square windows."""
+    stride = stride or kernel
+    n, c, h, w = x.data.shape
+    reshaped = x.data.reshape(n * c, 1, h, w)
+    cols, out_h, out_w = _im2col(reshaped, kernel, stride, 0)
+    argmax = cols.argmax(axis=0)
+    out = cols[argmax, np.arange(cols.shape[1])]
+    out = out.reshape(out_h, out_w, n * c).transpose(2, 0, 1).reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        grad_flat = grad.reshape(n * c, out_h, out_w).transpose(1, 2, 0).reshape(-1)
+        dcols = np.zeros_like(cols)
+        dcols[argmax, np.arange(cols.shape[1])] = grad_flat
+        dx = _col2im(dcols, reshaped.shape, kernel, stride, 0)
+        x._accumulate(dx.reshape(x.data.shape))
+
+    return x._make_result(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Average pooling over NCHW input with square windows."""
+    stride = stride or kernel
+    n, c, h, w = x.data.shape
+    reshaped = x.data.reshape(n * c, 1, h, w)
+    cols, out_h, out_w = _im2col(reshaped, kernel, stride, 0)
+    out = cols.mean(axis=0)
+    out = out.reshape(out_h, out_w, n * c).transpose(2, 0, 1).reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        grad_flat = grad.reshape(n * c, out_h, out_w).transpose(1, 2, 0).reshape(-1)
+        dcols = np.broadcast_to(grad_flat / (kernel * kernel), cols.shape).copy()
+        dx = _col2im(dcols, reshaped.shape, kernel, stride, 0)
+        x._accumulate(dx.reshape(x.data.shape))
+
+    return x._make_result(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the spatial dimensions, returning an (N, C) tensor."""
+    return x.mean(axis=(2, 3))

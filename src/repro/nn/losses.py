@@ -1,0 +1,40 @@
+"""Loss functions used by the Garfield workers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    Accepts logits of shape (N, C) and labels of shape (N,).  Returns the mean
+    negative log-likelihood as a scalar tensor.
+    """
+
+    def __call__(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        labels = np.asarray(labels, dtype=np.int64)
+        if logits.ndim != 2:
+            raise ValueError("CrossEntropyLoss expects 2-D logits (N, C)")
+        if labels.shape[0] != logits.shape[0]:
+            raise ValueError("labels batch size does not match logits")
+        log_probs = logits.log_softmax()
+        picked = log_probs.gather_rows(labels)
+        return -picked.mean()
+
+    @staticmethod
+    def accuracy(logits: Tensor, labels: np.ndarray) -> float:
+        """Top-1 accuracy of the given logits against integer labels."""
+        predictions = logits.data.argmax(axis=-1)
+        return float((predictions == np.asarray(labels)).mean())
+
+
+class MSELoss:
+    """Mean squared error between a prediction tensor and a target array."""
+
+    def __call__(self, prediction: Tensor, target: np.ndarray) -> Tensor:
+        target_tensor = Tensor(np.asarray(target, dtype=np.float64))
+        diff = prediction - target_tensor
+        return (diff * diff).mean()

@@ -1,0 +1,52 @@
+"""Flat parameter / gradient vector helpers.
+
+Garfield's GARs operate on flat vectors in R^d (gradients or models).  These
+helpers convert between a :class:`~repro.nn.layers.Module`'s parameter list and
+one flat ``numpy`` vector, mirroring the read/write-parameter-vector box in
+Figure 1 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.utils import flatten_arrays, unflatten_array
+
+
+def get_flat_parameters(model: Module) -> np.ndarray:
+    """Return all model parameters concatenated into one flat vector."""
+    return flatten_arrays([p.data for p in model.parameters()])
+
+
+def set_flat_parameters(model: Module, flat: np.ndarray) -> None:
+    """Overwrite all model parameters from one flat vector (in place)."""
+    params = model.parameters()
+    shapes = [p.shape for p in params]
+    pieces = unflatten_array(flat, shapes)
+    for param, piece in zip(params, pieces):
+        param.data[...] = piece
+
+
+def get_flat_gradients(model: Module) -> np.ndarray:
+    """Return all parameter gradients concatenated into one flat vector.
+
+    Parameters whose gradient is ``None`` (e.g. unused heads) contribute
+    zeros, so the vector length always equals the model dimension.
+    """
+    pieces = []
+    for param in model.parameters():
+        if param.grad is None:
+            pieces.append(np.zeros(param.shape, dtype=np.float64))
+        else:
+            pieces.append(param.grad)
+    return flatten_arrays(pieces)
+
+
+def set_flat_gradients(model: Module, flat: np.ndarray) -> None:
+    """Load a flat gradient vector into the parameters' ``grad`` slots."""
+    params = model.parameters()
+    shapes = [p.shape for p in params]
+    pieces = unflatten_array(flat, shapes)
+    for param, piece in zip(params, pieces):
+        param.grad = np.asarray(piece, dtype=np.float64)

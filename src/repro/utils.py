@@ -1,0 +1,97 @@
+"""Small shared utilities: seeding, flattening helpers, timing accumulators."""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+import numpy as np
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a numpy ``Generator`` seeded deterministically.
+
+    Passing ``None`` produces a generator seeded from entropy, which is only
+    appropriate for interactive exploration; all library components default to
+    explicit seeds so experiments are reproducible.
+    """
+    return np.random.default_rng(seed)
+
+
+def flatten_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate a sequence of arrays into a single 1-D float64 vector."""
+    if not arrays:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate([np.asarray(a, dtype=np.float64).ravel() for a in arrays])
+
+
+def unflatten_array(vector: np.ndarray, shapes: Sequence[tuple]) -> List[np.ndarray]:
+    """Split a flat vector back into arrays with the given ``shapes``.
+
+    Inverse of :func:`flatten_arrays`; raises ``ValueError`` when the vector
+    length does not match the total number of elements implied by ``shapes``.
+    """
+    sizes = [int(np.prod(s)) if len(s) else 1 for s in shapes]
+    total = sum(sizes)
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    if vector.size != total:
+        raise ValueError(
+            f"cannot unflatten vector of size {vector.size} into shapes totalling {total}"
+        )
+    out: List[np.ndarray] = []
+    offset = 0
+    for size, shape in zip(sizes, shapes):
+        out.append(vector[offset : offset + size].reshape(shape))
+        offset += size
+    return out
+
+
+@dataclass
+class StopWatch:
+    """Accumulates wall-clock time per named phase.
+
+    Used by benchmarks that need real (not simulated) timing, e.g. the GAR
+    micro-benchmarks of Figure 3.
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    @contextlib.contextmanager
+    def measure(self, phase: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.totals[phase] = self.totals.get(phase, 0.0) + time.perf_counter() - start
+
+    def total(self, phase: str) -> float:
+        return self.totals.get(phase, 0.0)
+
+    def reset(self) -> None:
+        self.totals.clear()
+
+
+def moving_average(values: Sequence[float], window: int) -> np.ndarray:
+    """Simple trailing moving average used to smooth accuracy curves."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return values
+    out = np.empty_like(values)
+    for i in range(values.size):
+        lo = max(0, i - window + 1)
+        out[i] = values[lo : i + 1].mean()
+    return out
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """cos(phi) between two vectors; 0.0 when either vector is all zeros."""
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    na, nb = np.linalg.norm(a), np.linalg.norm(b)
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))

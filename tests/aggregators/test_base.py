@@ -1,0 +1,130 @@
+"""Tests for the GAR registry, interface and resilience conditions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregators import (
+    Average,
+    Bulyan,
+    Krum,
+    MDA,
+    Median,
+    MultiKrum,
+    TrimmedMean,
+    available_gars,
+    init,
+)
+from repro.aggregators.base import as_matrix, pairwise_squared_distances
+from repro.exceptions import AggregationError, ResilienceConditionError
+
+
+class TestRegistry:
+    def test_all_paper_gars_registered(self):
+        names = available_gars()
+        for expected in ["average", "median", "krum", "multi-krum", "mda", "bulyan"]:
+            assert expected in names
+
+    def test_init_builds_correct_class(self):
+        assert isinstance(init("median", n=5, f=1), Median)
+        assert isinstance(init("multi-krum", n=9, f=2), MultiKrum)
+        assert isinstance(init("bulyan", n=11, f=2), Bulyan)
+        assert isinstance(init("mda", n=5, f=1), MDA)
+        assert isinstance(init("average", n=3), Average)
+        assert isinstance(init("trimmed-mean", n=5, f=1), TrimmedMean)
+
+    def test_init_accepts_underscore_names(self):
+        assert isinstance(init("multi_krum", n=9, f=2), MultiKrum)
+
+    def test_init_unknown_name(self):
+        with pytest.raises(AggregationError):
+            init("quantum-median", n=5, f=1)
+
+
+class TestResilienceConditions:
+    @pytest.mark.parametrize(
+        "cls, f, minimum",
+        [
+            (Median, 1, 3),
+            (Median, 3, 7),
+            (Krum, 1, 5),
+            (MultiKrum, 3, 9),
+            (MDA, 2, 5),
+            (Bulyan, 1, 7),
+            (Bulyan, 3, 15),
+            (TrimmedMean, 2, 5),
+        ],
+    )
+    def test_minimum_inputs_formulas(self, cls, f, minimum):
+        assert cls.minimum_inputs(f) == minimum
+
+    def test_constructing_undersized_gar_raises(self):
+        with pytest.raises(ResilienceConditionError):
+            Median(n=2, f=1)
+        with pytest.raises(ResilienceConditionError):
+            MultiKrum(n=4, f=1)
+        with pytest.raises(ResilienceConditionError):
+            Bulyan(n=6, f=1)
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ResilienceConditionError):
+            Median(n=5, f=-1)
+
+    def test_non_positive_n_rejected(self):
+        with pytest.raises(ResilienceConditionError):
+            Average(n=0, f=0)
+
+    def test_aggregate_with_too_few_inputs_raises(self):
+        gar = Median(n=5, f=2)
+        with pytest.raises(AggregationError):
+            gar.aggregate([np.zeros(3)] * 3)
+
+
+class TestMatrixHelpers:
+    def test_as_matrix_stacks(self):
+        matrix = as_matrix([np.arange(3), np.arange(3) + 1])
+        assert matrix.shape == (2, 3)
+
+    def test_as_matrix_flattens_nd_inputs(self):
+        matrix = as_matrix([np.zeros((2, 2)), np.ones((2, 2))])
+        assert matrix.shape == (2, 4)
+
+    def test_as_matrix_empty(self):
+        with pytest.raises(AggregationError):
+            as_matrix([])
+
+    def test_as_matrix_dimension_mismatch(self):
+        with pytest.raises(AggregationError):
+            as_matrix([np.zeros(3), np.zeros(4)])
+
+    def test_pairwise_distances(self):
+        matrix = np.array([[0.0, 0.0], [3.0, 4.0]])
+        distances = pairwise_squared_distances(matrix)
+        assert distances[0, 1] == pytest.approx(25.0)
+        assert distances[0, 0] == pytest.approx(0.0)
+
+    def test_pairwise_distances_non_negative(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(6, 10))
+        assert (pairwise_squared_distances(matrix) >= 0).all()
+
+
+class TestFunctionalCall:
+    def test_call_form_matches_listings(self):
+        gar = init("median", n=5, f=1)
+        gradients = [np.full(4, float(i)) for i in range(5)]
+        out = gar(gradients=gradients, f=1)
+        assert np.allclose(out, 2.0)
+
+    def test_call_with_different_f_revalidates(self):
+        gar = init("median", n=7, f=1)
+        with pytest.raises(ResilienceConditionError):
+            gar(gradients=[np.zeros(2)] * 3, f=2)
+
+    def test_flops_positive_and_monotone_in_d(self):
+        for name in available_gars():
+            f = 1
+            gar = init(name, n=max(7, init(name, n=100, f=f).minimum_inputs(f)), f=f)
+            assert gar.flops(1000) > 0
+            assert gar.flops(10_000) > gar.flops(1000)

@@ -1,0 +1,123 @@
+"""Tests for the extension GARs (geometric median, MeaMed)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregators import GeometricMedian, MeaMed, available_gars, init
+
+
+def honest_cluster(num, dim=6, centre=1.0, spread=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    return [centre + rng.normal(0.0, spread, size=dim) for _ in range(num)]
+
+
+class TestGeometricMedian:
+    def test_registered(self):
+        assert "geometric-median" in available_gars()
+        assert isinstance(init("geometric-median", n=5, f=1), GeometricMedian)
+
+    def test_minimum_inputs(self):
+        assert GeometricMedian.minimum_inputs(2) == 5
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            GeometricMedian(n=5, f=1, iterations=0)
+
+    def test_identical_inputs_fixed_point(self):
+        gar = GeometricMedian(n=5, f=1)
+        vector = np.arange(4.0)
+        assert np.allclose(gar.aggregate([vector.copy()] * 5), vector, atol=1e-8)
+
+    def test_resists_one_far_outlier(self):
+        gar = GeometricMedian(n=7, f=1)
+        vectors = honest_cluster(6) + [np.full(6, 1e4)]
+        out = gar.aggregate(vectors)
+        assert np.abs(out - 1.0).max() < 0.5
+
+    def test_matches_true_geometric_median_in_1d(self):
+        # In one dimension the geometric median is the (coordinate) median.
+        gar = GeometricMedian(n=5, f=1, iterations=64)
+        vectors = [np.array([v]) for v in [0.0, 1.0, 2.0, 3.0, 100.0]]
+        assert gar.aggregate(vectors)[0] == pytest.approx(2.0, abs=0.2)
+
+    def test_flops_linear_in_dimension(self):
+        gar = GeometricMedian(n=7, f=1)
+        assert gar.flops(2_000) == pytest.approx(2 * gar.flops(1_000))
+
+
+class TestMeaMed:
+    def test_registered(self):
+        assert "meamed" in available_gars()
+        assert isinstance(init("meamed", n=5, f=1), MeaMed)
+
+    def test_minimum_inputs(self):
+        assert MeaMed.minimum_inputs(3) == 7
+
+    def test_f_zero_is_plain_average(self):
+        gar = MeaMed(n=4, f=0)
+        vectors = honest_cluster(4)
+        assert np.allclose(gar.aggregate(vectors), np.mean(vectors, axis=0))
+
+    def test_drops_values_far_from_median(self):
+        gar = MeaMed(n=5, f=1)
+        vectors = [np.array([v]) for v in [0.0, 1.0, 2.0, 3.0, 1000.0]]
+        assert gar.aggregate(vectors)[0] == pytest.approx(1.5)
+
+    def test_resists_f_outliers(self):
+        gar = MeaMed(n=9, f=2)
+        vectors = honest_cluster(7) + [np.full(6, 500.0), np.full(6, -500.0)]
+        out = gar.aggregate(vectors)
+        assert np.abs(out - 1.0).max() < 0.5
+
+    def test_output_within_coordinate_bounds(self):
+        rng = np.random.default_rng(1)
+        vectors = [rng.normal(size=8) for _ in range(7)]
+        out = MeaMed(n=7, f=2).aggregate(vectors)
+        stacked = np.stack(vectors)
+        assert (out <= stacked.max(axis=0) + 1e-9).all()
+        assert (out >= stacked.min(axis=0) - 1e-9).all()
+
+
+class TestExtensionGarsInTraining:
+    def test_ssmw_runs_with_geometric_median(self):
+        from repro.core.cluster import ClusterConfig
+        from repro.core.controller import Controller
+
+        config = ClusterConfig(
+            deployment="ssmw",
+            num_workers=5,
+            num_byzantine_workers=1,
+            num_attacking_workers=1,
+            worker_attack="reversed",
+            gradient_gar="geometric-median",
+            model="logistic",
+            dataset_size=150,
+            batch_size=8,
+            num_iterations=5,
+            accuracy_every=5,
+            seed=2,
+        )
+        result = Controller(config).run()
+        assert result.final_accuracy is not None
+
+    def test_ssmw_runs_with_meamed(self):
+        from repro.core.cluster import ClusterConfig
+        from repro.core.controller import Controller
+
+        config = ClusterConfig(
+            deployment="ssmw",
+            num_workers=5,
+            num_byzantine_workers=1,
+            num_attacking_workers=1,
+            gradient_gar="meamed",
+            model="logistic",
+            dataset_size=150,
+            batch_size=8,
+            num_iterations=5,
+            accuracy_every=5,
+            seed=2,
+        )
+        result = Controller(config).run()
+        assert result.final_accuracy is not None

@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for the GAR invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.aggregators import MDA, Bulyan, Median, MultiKrum, TrimmedMean, init
+
+
+def vector_lists(min_vectors, max_vectors=9, dim=5):
+    return st.integers(min_value=min_vectors, max_value=max_vectors).flatmap(
+        lambda q: st.lists(
+            arrays(
+                dtype=np.float64,
+                shape=(dim,),
+                elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+            ),
+            min_size=q,
+            max_size=q,
+        )
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(vectors=vector_lists(3))
+def test_median_within_coordinate_bounds(vectors):
+    out = Median(n=len(vectors), f=1).aggregate(vectors)
+    stacked = np.stack(vectors)
+    assert (out <= stacked.max(axis=0) + 1e-9).all()
+    assert (out >= stacked.min(axis=0) - 1e-9).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(vectors=vector_lists(3))
+def test_median_permutation_invariant(vectors):
+    gar = Median(n=len(vectors), f=1)
+    forward = gar.aggregate(vectors)
+    backward = gar.aggregate(list(reversed(vectors)))
+    assert np.allclose(forward, backward)
+
+
+@settings(max_examples=40, deadline=None)
+@given(vectors=vector_lists(5))
+def test_krum_returns_an_input(vectors):
+    out = init("krum", n=len(vectors), f=1).aggregate(vectors)
+    assert any(np.allclose(out, v) for v in vectors)
+
+
+@settings(max_examples=40, deadline=None)
+@given(vectors=vector_lists(5))
+def test_multikrum_output_in_coordinate_bounds(vectors):
+    # Multi-Krum averages a subset of the inputs, so every coordinate of the
+    # output must lie within the coordinate-wise range of the inputs.  (Exact
+    # permutation invariance does not hold when Krum scores tie.)
+    out = MultiKrum(n=len(vectors), f=1).aggregate(vectors)
+    stacked = np.stack(vectors)
+    assert (out <= stacked.max(axis=0) + 1e-9).all()
+    assert (out >= stacked.min(axis=0) - 1e-9).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(vectors=vector_lists(3, max_vectors=7))
+def test_mda_output_in_convex_hull_bounds(vectors):
+    out = MDA(n=len(vectors), f=1).aggregate(vectors)
+    stacked = np.stack(vectors)
+    assert (out <= stacked.max(axis=0) + 1e-9).all()
+    assert (out >= stacked.min(axis=0) - 1e-9).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(vectors=vector_lists(7, max_vectors=9))
+def test_bulyan_output_in_coordinate_bounds(vectors):
+    out = Bulyan(n=len(vectors), f=1).aggregate(vectors)
+    stacked = np.stack(vectors)
+    assert (out <= stacked.max(axis=0) + 1e-9).all()
+    assert (out >= stacked.min(axis=0) - 1e-9).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(vectors=vector_lists(3))
+def test_trimmed_mean_within_bounds(vectors):
+    out = TrimmedMean(n=len(vectors), f=1).aggregate(vectors)
+    stacked = np.stack(vectors)
+    assert (out <= stacked.max(axis=0) + 1e-9).all()
+    assert (out >= stacked.min(axis=0) - 1e-9).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    honest=arrays(
+        dtype=np.float64,
+        shape=(6, 4),
+        elements=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+    ),
+    attack_scale=st.floats(min_value=10.0, max_value=1e6),
+)
+def test_robust_gars_bound_influence_of_one_byzantine(honest, attack_scale):
+    """One arbitrarily large malicious vector cannot drag the output outside the honest range."""
+    malicious = np.full(4, attack_scale)
+    vectors = [row for row in honest] + [malicious]
+    stacked = honest
+    for name in ["median", "mda", "trimmed-mean"]:
+        out = init(name, n=len(vectors), f=1).aggregate(vectors)
+        assert (out <= stacked.max(axis=0) + 1e-6).all()
+        assert (out >= stacked.min(axis=0) - 1e-6).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    scale=st.floats(min_value=0.1, max_value=10.0),
+    shift=st.floats(min_value=-5.0, max_value=5.0),
+)
+def test_median_equivariant_under_affine_maps(scale, shift):
+    rng = np.random.default_rng(0)
+    vectors = [rng.normal(size=6) for _ in range(5)]
+    gar = Median(n=5, f=1)
+    base = gar.aggregate(vectors)
+    transformed = gar.aggregate([scale * v + shift for v in vectors])
+    assert np.allclose(transformed, scale * base + shift, atol=1e-8)
+
+
+@pytest.mark.parametrize("name", ["median", "multi-krum", "mda", "bulyan", "trimmed-mean", "average"])
+def test_all_gars_idempotent_on_identical_inputs(name):
+    f = 1
+    n = max(7, init(name, n=20, f=f).minimum_inputs(f))
+    gar = init(name, n=n, f=f)
+    vector = np.linspace(-1, 1, 8)
+    out = gar.aggregate([vector.copy() for _ in range(n)])
+    assert np.allclose(out, vector)

@@ -1,0 +1,97 @@
+"""Tests for the measure_variance tool (Section 3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregators.variance import (
+    SUPPORTED_GARS,
+    VarianceReport,
+    check_condition,
+    delta_factor,
+    measure_variance,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestDeltaFactor:
+    def test_median_formula(self):
+        assert delta_factor("median", n=10, f=3) == pytest.approx(np.sqrt(7))
+
+    def test_mda_formula(self):
+        assert delta_factor("mda", n=10, f=2) == pytest.approx(2 * np.sqrt(2) * 2 / 8)
+
+    def test_mda_zero_f(self):
+        assert delta_factor("mda", n=10, f=0) == 0.0
+
+    def test_krum_positive_and_grows_with_f(self):
+        low = delta_factor("krum", n=20, f=1)
+        high = delta_factor("krum", n=20, f=5)
+        assert 0 < low < high
+
+    def test_krum_requires_enough_nodes(self):
+        with pytest.raises(ConfigurationError):
+            delta_factor("krum", n=6, f=3)
+
+    def test_unknown_gar(self):
+        with pytest.raises(ConfigurationError):
+            delta_factor("bulyan", n=10, f=1)
+
+    def test_invalid_n_f(self):
+        with pytest.raises(ConfigurationError):
+            delta_factor("median", n=3, f=3)
+
+
+class TestCheckCondition:
+    def test_small_variance_satisfies(self):
+        workers = [np.ones(8) + 1e-4 * i for i in range(5)]
+        ok, lhs, rhs = check_condition(workers, np.ones(8), "median", f=1)
+        assert ok and lhs < rhs
+
+    def test_huge_variance_violates(self):
+        rng = np.random.default_rng(0)
+        workers = [rng.normal(0, 100.0, size=8) for _ in range(5)]
+        ok, lhs, rhs = check_condition(workers, 0.01 * np.ones(8), "median", f=1)
+        assert not ok and lhs > rhs
+
+
+class TestMeasureVariance:
+    def _sampler(self, noise):
+        rng = np.random.default_rng(1)
+
+        def gradient_sampler(step):
+            return [np.ones(16) + rng.normal(0, noise, size=16) for _ in range(4)]
+
+        return gradient_sampler
+
+    def test_report_structure(self):
+        report = measure_variance(self._sampler(0.01), lambda step: np.ones(16), n=5, f=1, steps=4)
+        assert isinstance(report, VarianceReport)
+        assert report.steps == 4
+        assert set(report.satisfied) == set(SUPPORTED_GARS)
+        assert len(report.deviations) == 4
+
+    def test_low_noise_satisfies_often(self):
+        report = measure_variance(self._sampler(0.001), lambda step: np.ones(16), n=5, f=1, steps=5)
+        assert all(frac == 1.0 for frac in report.satisfied.values())
+
+    def test_high_noise_fails_often(self):
+        report = measure_variance(self._sampler(50.0), lambda step: 0.01 * np.ones(16), n=5, f=1, steps=5)
+        assert all(frac == 0.0 for frac in report.satisfied.values())
+
+    def test_summary_mentions_each_gar(self):
+        report = measure_variance(self._sampler(0.01), lambda step: np.ones(16), n=5, f=1, steps=2)
+        text = report.summary()
+        for gar in SUPPORTED_GARS:
+            assert gar in text
+
+    def test_rejects_wrong_number_of_worker_gradients(self):
+        with pytest.raises(ConfigurationError):
+            measure_variance(self._sampler(0.01), lambda step: np.ones(16), n=7, f=1, steps=2)
+
+    def test_rejects_bad_kappa_and_steps(self):
+        with pytest.raises(ConfigurationError):
+            measure_variance(self._sampler(0.01), lambda step: np.ones(16), n=5, f=1, steps=0)
+        with pytest.raises(ConfigurationError):
+            measure_variance(self._sampler(0.01), lambda step: np.ones(16), n=5, f=1, kappa=1.0)

@@ -1,0 +1,262 @@
+"""Unit tests of the individual application training loops.
+
+Each test runs a few iterations with a tiny logistic model so it completes in
+a fraction of a second; end-to-end convergence behaviour is covered by the
+integration tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import APPLICATIONS, run_application
+from repro.core.cluster import ClusterConfig
+from repro.core.controller import Controller
+from repro.exceptions import ConfigurationError
+
+
+def run(**overrides):
+    defaults = dict(
+        deployment="ssmw",
+        num_workers=5,
+        num_byzantine_workers=0,
+        gradient_gar="multi-krum",
+        model="logistic",
+        dataset="mnist",
+        dataset_size=150,
+        batch_size=8,
+        num_iterations=5,
+        accuracy_every=2,
+        learning_rate=0.1,
+        seed=4,
+    )
+    defaults.update(overrides)
+    controller = Controller(ClusterConfig(**defaults))
+    return controller.run()
+
+
+class TestDispatch:
+    def test_every_deployment_has_an_application(self):
+        from repro.network.topology import DEPLOYMENTS
+
+        assert set(APPLICATIONS) == set(DEPLOYMENTS)
+
+    def test_unknown_deployment_rejected(self):
+        deployment = Controller(ClusterConfig(model="logistic", dataset_size=100)).build()
+        deployment.config.deployment = "unknown"
+        with pytest.raises(ConfigurationError):
+            run_application(deployment)
+
+
+class TestVanilla:
+    def test_runs_and_records_each_iteration(self):
+        result = run(deployment="vanilla")
+        assert len(result.metrics) == 5
+        assert result.final_accuracy is not None
+
+    def test_no_serialization_overhead_recorded(self):
+        """The vanilla deployment uses the optimized runtime (Section 6.2)."""
+        vanilla = run(deployment="vanilla", seed=9)
+        garfield = run(deployment="ssmw", seed=9)
+        assert vanilla.breakdown["communication"] < garfield.breakdown["communication"]
+
+
+class TestSSMW:
+    def test_accuracy_reported_on_schedule(self):
+        result = run(deployment="ssmw", num_iterations=6, accuracy_every=3)
+        measured_iterations = [i for i, _ in result.accuracy_history]
+        assert measured_iterations == [0, 3, 5]
+
+    def test_tolerates_byzantine_workers(self):
+        result = run(
+            deployment="ssmw",
+            num_workers=7,
+            num_byzantine_workers=2,
+            num_attacking_workers=2,
+            worker_attack="reversed",
+            num_iterations=10,
+        )
+        assert result.final_accuracy is not None
+        assert np.isfinite(result.metrics.records[-1].total_time)
+
+    def test_asynchronous_mode_waits_for_fewer_workers(self):
+        result = run(deployment="ssmw", num_workers=7, num_byzantine_workers=1, asynchronous=True)
+        assert len(result.metrics) == 5
+
+    def test_throughput_positive(self):
+        assert run().throughput > 0
+
+
+class TestAggregathor:
+    def test_runs_with_multikrum(self):
+        result = run(deployment="aggregathor", num_workers=7, num_byzantine_workers=2)
+        assert len(result.metrics) == 5
+
+    def test_learning_rate_handicap_applied(self):
+        config = ClusterConfig(
+            deployment="aggregathor",
+            num_workers=5,
+            model="logistic",
+            dataset_size=120,
+            batch_size=8,
+            num_iterations=2,
+            learning_rate=0.1,
+            seed=1,
+        )
+        controller = Controller(config)
+        deployment = controller.build()
+        run_application(deployment)
+        assert deployment.servers[0].optimizer.lr == pytest.approx(0.08)
+
+
+class TestCrashTolerant:
+    def test_all_replicas_track_each_other(self):
+        config = ClusterConfig(
+            deployment="crash-tolerant",
+            num_servers=3,
+            num_workers=4,
+            model="logistic",
+            dataset_size=150,
+            batch_size=8,
+            num_iterations=4,
+            seed=2,
+        )
+        deployment = Controller(config).build()
+        run_application(deployment)
+        states = [s.flat_parameters() for s in deployment.servers]
+        assert np.allclose(states[0], states[1])
+        assert np.allclose(states[0], states[2])
+
+    def test_fails_over_when_primary_crashes(self):
+        config = ClusterConfig(
+            deployment="crash-tolerant",
+            num_servers=3,
+            num_workers=4,
+            model="logistic",
+            dataset_size=150,
+            batch_size=8,
+            num_iterations=6,
+            seed=2,
+        )
+        deployment = Controller(config).build()
+        deployment.transport.failures.crash("server-0")
+        run_application(deployment)
+        assert len(deployment.metrics) == 6
+
+    def test_all_replicas_crashed_raises(self):
+        from repro.exceptions import TrainingError
+
+        config = ClusterConfig(
+            deployment="crash-tolerant",
+            num_servers=2,
+            num_workers=4,
+            model="logistic",
+            dataset_size=150,
+            batch_size=8,
+            num_iterations=3,
+            seed=2,
+        )
+        deployment = Controller(config).build()
+        deployment.transport.failures.crash("server-0")
+        deployment.transport.failures.crash("server-1")
+        with pytest.raises(TrainingError):
+            run_application(deployment)
+
+
+class TestMSMW:
+    def msmw_result(self, **overrides):
+        defaults = dict(
+            deployment="msmw",
+            num_workers=7,
+            num_byzantine_workers=1,
+            num_attacking_workers=1,
+            num_servers=4,
+            num_byzantine_servers=1,
+            num_attacking_servers=1,
+            model_gar="median",
+            num_iterations=6,
+        )
+        defaults.update(overrides)
+        return run(**defaults)
+
+    def test_runs_with_byzantine_servers_and_workers(self):
+        result = self.msmw_result()
+        assert len(result.metrics) == 6
+        assert result.final_accuracy is not None
+
+    def test_honest_replicas_stay_aligned(self):
+        config = ClusterConfig(
+            deployment="msmw",
+            num_workers=7,
+            num_byzantine_workers=1,
+            num_servers=4,
+            num_byzantine_servers=1,
+            num_attacking_servers=1,
+            model_gar="median",
+            gradient_gar="multi-krum",
+            model="logistic",
+            dataset_size=150,
+            batch_size=8,
+            num_iterations=5,
+            seed=6,
+        )
+        deployment = Controller(config).build()
+        run_application(deployment)
+        states = [s.flat_parameters() for s in deployment.honest_servers]
+        spread = max(np.linalg.norm(states[0] - s) for s in states[1:])
+        assert spread < 1.0
+
+    def test_alignment_probe_collects_samples(self):
+        config = ClusterConfig(
+            deployment="msmw",
+            num_workers=7,
+            num_byzantine_workers=1,
+            num_servers=4,
+            num_byzantine_servers=1,
+            model_gar="median",
+            model="logistic",
+            dataset_size=150,
+            batch_size=8,
+            num_iterations=3,
+            seed=6,
+        )
+        deployment = Controller(config).build()
+        deployment.alignment.every = 1
+        run_application(deployment)
+        assert len(deployment.alignment.samples) == 3
+        assert all(0.0 <= s["cos_phi"] <= 1.0 for s in deployment.alignment.samples)
+
+    def test_two_aggregations_per_iteration(self):
+        result = self.msmw_result(num_iterations=3)
+        assert all(r.aggregation_time > 0 for r in result.metrics.records)
+
+
+class TestDecentralized:
+    def decentralized_result(self, **overrides):
+        defaults = dict(
+            deployment="decentralized",
+            num_workers=6,
+            num_servers=0,
+            num_byzantine_workers=1,
+            num_attacking_workers=1,
+            gradient_gar="median",
+            model_gar="median",
+            num_iterations=4,
+        )
+        defaults.update(overrides)
+        return run(**defaults)
+
+    def test_runs_peer_to_peer(self):
+        result = self.decentralized_result()
+        assert len(result.metrics) == 4
+        assert result.final_accuracy is not None
+
+    def test_non_iid_contract_step(self):
+        result = self.decentralized_result(non_iid=True, contract_steps=2)
+        assert len(result.metrics) == 4
+
+    def test_quadratic_message_count_versus_ssmw(self):
+        decentralized = self.decentralized_result(num_iterations=3)
+        ssmw = run(deployment="ssmw", num_workers=6, num_iterations=3)
+        assert decentralized.messages_sent > 2 * ssmw.messages_sent

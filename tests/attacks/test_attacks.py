@@ -1,0 +1,143 @@
+"""Tests for the Byzantine attack implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    DropAttack,
+    FallOfEmpiresAttack,
+    LittleIsEnoughAttack,
+    NoAttack,
+    RandomVectorAttack,
+    ReversedVectorAttack,
+    available_attacks,
+    build_attack,
+)
+from repro.attacks.little_is_enough import default_z
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def honest():
+    return np.linspace(-1.0, 1.0, 10)
+
+
+@pytest.fixture
+def peers():
+    rng = np.random.default_rng(0)
+    return [rng.normal(0.5, 0.1, size=10) for _ in range(6)]
+
+
+class TestRegistry:
+    def test_all_paper_attacks_registered(self):
+        names = available_attacks()
+        for expected in ["none", "random", "reversed", "drop", "little-is-enough", "fall-of-empires"]:
+            assert expected in names
+
+    def test_build_attack_by_name(self):
+        assert isinstance(build_attack("random"), RandomVectorAttack)
+        assert isinstance(build_attack("little_is_enough"), LittleIsEnoughAttack)
+
+    def test_unknown_attack(self):
+        with pytest.raises(ConfigurationError):
+            build_attack("gradient-inversion")
+
+
+class TestSimpleAttacks:
+    def test_none_returns_honest_vector(self, honest):
+        assert np.allclose(NoAttack()(honest), honest)
+
+    def test_random_replaces_vector(self, honest):
+        out = RandomVectorAttack(seed=1, scale=10.0)(honest)
+        assert out.shape == honest.shape
+        assert not np.allclose(out, honest)
+        assert np.abs(out).max() > np.abs(honest).max()
+
+    def test_random_is_seed_deterministic(self, honest):
+        a = RandomVectorAttack(seed=5)(honest)
+        b = RandomVectorAttack(seed=5)(honest)
+        assert np.allclose(a, b)
+
+    def test_reversed_multiplies_by_negative_factor(self, honest):
+        out = ReversedVectorAttack(factor=-100.0)(honest)
+        assert np.allclose(out, -100.0 * honest)
+
+    def test_drop_returns_none(self, honest):
+        assert DropAttack()(honest) is None
+
+
+class TestLittleIsEnough:
+    def test_stays_close_to_honest_mean(self, honest, peers):
+        out = LittleIsEnoughAttack(z=1.5)(honest, peers)
+        mean = np.mean(peers, axis=0)
+        std = np.std(peers, axis=0)
+        assert np.all(np.abs(out - mean) <= 1.5 * std + 1e-12)
+
+    def test_biases_against_descent_direction(self, peers):
+        out = LittleIsEnoughAttack(z=1.5)(peers[0], peers)
+        mean = np.mean(peers, axis=0)
+        assert np.all(out <= mean + 1e-12)
+
+    def test_without_peer_view_falls_back(self, honest):
+        out = LittleIsEnoughAttack(z=1.0)(honest, None)
+        assert out.shape == honest.shape
+        assert np.all(out <= honest + 1e-12)
+
+    def test_default_z_reasonable(self):
+        z = default_z(num_workers=20, num_byzantine=4)
+        assert 0.0 < z < 5.0
+
+    def test_default_z_degenerate_cluster(self):
+        assert default_z(num_workers=2, num_byzantine=2) == 1.0
+
+
+class TestFallOfEmpires:
+    def test_negates_mean_of_honest(self, peers):
+        out = FallOfEmpiresAttack(epsilon=1.1)(peers[0], peers)
+        mean = np.mean(peers, axis=0)
+        assert np.allclose(out, -1.1 * mean)
+
+    def test_inner_product_with_mean_is_negative(self, peers):
+        out = FallOfEmpiresAttack(epsilon=1.1)(peers[0], peers)
+        mean = np.mean(peers, axis=0)
+        assert float(np.dot(out, mean)) < 0.0
+
+    def test_without_peer_view_negates_own(self, honest):
+        out = FallOfEmpiresAttack(epsilon=2.0)(honest, None)
+        assert np.allclose(out, -2.0 * honest)
+
+
+class TestAttacksAgainstGars:
+    """Sanity checks mirroring Figure 5: robust GARs survive, averaging does not."""
+
+    def _setup(self, attack, num_byzantine=2, seed=0):
+        rng = np.random.default_rng(seed)
+        honest = [np.ones(12) + rng.normal(0, 0.05, size=12) for _ in range(9)]
+        malicious = []
+        for _ in range(num_byzantine):
+            crafted = attack(honest[0], honest)
+            malicious.append(crafted if crafted is not None else None)
+        vectors = honest + [m for m in malicious if m is not None]
+        return honest, vectors
+
+    @pytest.mark.parametrize("attack_name", ["random", "reversed"])
+    def test_average_is_corrupted(self, attack_name):
+        from repro.aggregators import Average
+
+        attack = build_attack(attack_name, seed=3)
+        honest, vectors = self._setup(attack)
+        out = Average(n=len(vectors)).aggregate(vectors)
+        assert np.abs(out - 1.0).max() > 1.0
+
+    @pytest.mark.parametrize("attack_name", ["random", "reversed"])
+    @pytest.mark.parametrize("gar_name", ["median", "multi-krum", "bulyan"])
+    def test_robust_gars_survive(self, attack_name, gar_name):
+        from repro.aggregators import init
+
+        attack = build_attack(attack_name, seed=3)
+        honest, vectors = self._setup(attack)
+        gar = init(gar_name, n=len(vectors), f=2)
+        out = gar.aggregate(vectors)
+        assert np.abs(out - 1.0).max() < 0.5

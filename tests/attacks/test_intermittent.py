@@ -1,0 +1,106 @@
+"""Tests for the stateful intermittent attacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import IntermittentDropAttack, SlowBurnAttack, available_attacks, build_attack
+
+
+@pytest.fixture
+def honest():
+    return np.linspace(-1.0, 1.0, 8)
+
+
+class TestIntermittentDrop:
+    def test_registered(self):
+        assert "intermittent-drop" in available_attacks()
+        assert isinstance(build_attack("intermittent-drop"), IntermittentDropAttack)
+
+    def test_drops_every_period(self, honest):
+        attack = IntermittentDropAttack(period=2)
+        results = [attack(honest) for _ in range(6)]
+        assert results[0] is not None and results[1] is None
+        assert results[2] is not None and results[3] is None
+
+    def test_period_one_always_drops(self, honest):
+        attack = IntermittentDropAttack(period=1)
+        assert all(attack(honest) is None for _ in range(3))
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            IntermittentDropAttack(period=0)
+
+    def test_honest_replies_are_unmodified(self, honest):
+        attack = IntermittentDropAttack(period=3)
+        assert np.allclose(attack(honest), honest)
+
+
+class TestSlowBurn:
+    def test_registered(self):
+        assert "slow-burn" in available_attacks()
+
+    def test_honest_during_warmup(self, honest):
+        attack = SlowBurnAttack(warmup=3, factor=-10.0)
+        for _ in range(3):
+            assert np.allclose(attack(honest), honest)
+
+    def test_attacks_after_warmup(self, honest):
+        attack = SlowBurnAttack(warmup=2, factor=-10.0)
+        attack(honest)
+        attack(honest)
+        assert np.allclose(attack(honest), -10.0 * honest)
+
+    def test_zero_warmup_attacks_immediately(self, honest):
+        attack = SlowBurnAttack(warmup=0, factor=-2.0)
+        assert np.allclose(attack(honest), -2.0 * honest)
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            SlowBurnAttack(warmup=-1)
+
+
+class TestIntermittentAttacksInTraining:
+    def test_ssmw_survives_intermittent_drop(self):
+        from repro.core.cluster import ClusterConfig
+        from repro.core.controller import Controller
+
+        config = ClusterConfig(
+            deployment="ssmw",
+            num_workers=6,
+            num_byzantine_workers=1,
+            num_attacking_workers=1,
+            worker_attack="intermittent-drop",
+            gradient_gar="multi-krum",
+            asynchronous=True,
+            model="logistic",
+            dataset_size=200,
+            batch_size=8,
+            num_iterations=8,
+            accuracy_every=4,
+            seed=3,
+        )
+        result = Controller(config).run()
+        assert len(result.metrics) == 8
+
+    def test_ssmw_survives_slow_burn(self):
+        from repro.core.cluster import ClusterConfig
+        from repro.core.controller import Controller
+
+        config = ClusterConfig(
+            deployment="ssmw",
+            num_workers=6,
+            num_byzantine_workers=1,
+            num_attacking_workers=1,
+            worker_attack="slow-burn",
+            gradient_gar="median",
+            model="logistic",
+            dataset_size=200,
+            batch_size=8,
+            num_iterations=8,
+            accuracy_every=4,
+            seed=3,
+        )
+        result = Controller(config).run()
+        assert result.final_accuracy is not None

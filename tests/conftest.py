@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import ClusterConfig
+from repro.datasets.synthetic import make_classification
+from repro.network.transport import LinkModel, Transport
+from repro.nn.models import LogisticRegression
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A small, easy synthetic dataset (flat 4x4 single-channel images, 4 classes)."""
+    return make_classification(120, (1, 4, 4), num_classes=4, noise=0.3, seed=3)
+
+
+@pytest.fixture
+def mnist_like():
+    """A reduced MNIST-shaped dataset for worker/server tests."""
+    return make_classification(160, (1, 28, 28), num_classes=10, noise=0.8, seed=5)
+
+
+@pytest.fixture
+def small_model():
+    """A logistic-regression model matching ``tiny_dataset``."""
+    return LogisticRegression(input_dim=16, num_classes=4, seed=0)
+
+
+@pytest.fixture
+def transport():
+    """A transport with deterministic, low-jitter links."""
+    return Transport(link=LinkModel(base_latency=1e-4, jitter=1e-5), seed=7)
+
+
+@pytest.fixture
+def fast_config():
+    """A ClusterConfig that trains in well under a second (logistic model)."""
+    return ClusterConfig(
+        deployment="ssmw",
+        num_workers=5,
+        num_byzantine_workers=1,
+        num_attacking_workers=1,
+        worker_attack="random",
+        gradient_gar="multi-krum",
+        model="logistic",
+        dataset="mnist",
+        dataset_size=200,
+        batch_size=8,
+        num_iterations=8,
+        accuracy_every=4,
+        seed=11,
+    )
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad

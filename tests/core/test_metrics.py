@@ -1,0 +1,122 @@
+"""Tests for metric collection and the Table 2 alignment measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import AlignmentProbe, IterationRecord, MetricsLog, parameter_alignment
+
+
+class TestIterationRecord:
+    def test_total_time(self):
+        record = IterationRecord(0, compute_time=1.0, communication_time=2.0, aggregation_time=0.5)
+        assert record.total_time == pytest.approx(3.5)
+
+
+class TestMetricsLog:
+    def build_log(self):
+        log = MetricsLog(deployment="ssmw")
+        for i in range(4):
+            log.add(
+                IterationRecord(
+                    i,
+                    compute_time=1.0,
+                    communication_time=2.0,
+                    aggregation_time=1.0,
+                    accuracy=0.25 * (i + 1) if i % 2 == 0 else None,
+                )
+            )
+        return log
+
+    def test_length_and_total_time(self):
+        log = self.build_log()
+        assert len(log) == 4
+        assert log.total_time == pytest.approx(16.0)
+
+    def test_throughput(self):
+        assert self.build_log().throughput() == pytest.approx(4 / 16.0)
+
+    def test_throughput_empty_log(self):
+        assert MetricsLog().throughput() == 0.0
+
+    def test_accuracies_and_final(self):
+        log = self.build_log()
+        assert log.accuracies == [(0, 0.25), (2, 0.75)]
+        assert log.final_accuracy == pytest.approx(0.75)
+
+    def test_final_accuracy_none_when_never_measured(self):
+        log = MetricsLog()
+        log.add(IterationRecord(0))
+        assert log.final_accuracy is None
+
+    def test_breakdown_averages_components(self):
+        breakdown = self.build_log().breakdown()
+        assert breakdown["computation"] == pytest.approx(1.0)
+        assert breakdown["communication"] == pytest.approx(2.0)
+        assert breakdown["aggregation"] == pytest.approx(1.0)
+
+    def test_breakdown_empty(self):
+        assert MetricsLog().breakdown()["computation"] == 0.0
+
+    def test_accuracy_over_time_is_cumulative(self):
+        pairs = self.build_log().accuracy_over_time()
+        times = [t for t, _ in pairs]
+        assert times == sorted(times)
+        assert times[0] == pytest.approx(4.0)
+        assert times[-1] == pytest.approx(12.0)
+
+
+class TestParameterAlignment:
+    def test_requires_two_vectors(self):
+        with pytest.raises(ValueError):
+            parameter_alignment([np.zeros(4)])
+
+    def test_identical_difference_directions_give_cos_one(self):
+        base = np.zeros(8)
+        a = base + np.ones(8)
+        b = base + 2 * np.ones(8)
+        result = parameter_alignment([base, a, b])
+        assert result["cos_phi"] == pytest.approx(1.0)
+
+    def test_two_vectors_fall_back_to_cos_one(self):
+        result = parameter_alignment([np.zeros(4), np.ones(4)])
+        assert result["cos_phi"] == pytest.approx(1.0)
+        assert "max_diff1" in result
+
+    def test_manual_three_replica_example(self):
+        """Hand-computed: top differences are (3,-1) and (-3,0); |cos| ~ 0.9487."""
+        v0 = np.array([0.0, 0.0])
+        v1 = np.array([3.0, 0.0])
+        v2 = np.array([0.0, 1.0])
+        result = parameter_alignment([v0, v1, v2])
+        assert result["max_diff1"] == pytest.approx(np.sqrt(10))
+        assert result["max_diff2"] == pytest.approx(3.0)
+        assert result["cos_phi"] == pytest.approx(9.0 / (3.0 * np.sqrt(10)), abs=1e-9)
+
+    def test_reports_top_norms_in_descending_order(self):
+        vectors = [np.zeros(4), np.ones(4), 3 * np.ones(4)]
+        result = parameter_alignment(vectors)
+        assert result["max_diff1"] >= result["max_diff2"]
+
+    def test_cos_phi_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        vectors = [rng.normal(size=16) for _ in range(5)]
+        result = parameter_alignment(vectors)
+        assert 0.0 <= result["cos_phi"] <= 1.0
+
+
+class TestAlignmentProbe:
+    def test_samples_only_on_schedule(self):
+        probe = AlignmentProbe(every=5)
+        vectors = [np.zeros(4), np.ones(4)]
+        assert probe.maybe_sample(3, vectors) is None
+        assert probe.maybe_sample(5, vectors) is not None
+        assert len(probe.samples) == 1
+        assert probe.samples[0]["step"] == 5.0
+
+    def test_respects_warmup(self):
+        probe = AlignmentProbe(every=2, warmup=10)
+        vectors = [np.zeros(4), np.ones(4)]
+        assert probe.maybe_sample(4, vectors) is None
+        assert probe.maybe_sample(12, vectors) is not None

@@ -1,0 +1,146 @@
+"""Tests for checkpointing, configuration serialization and result export."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import ClusterConfig
+from repro.core.controller import Controller
+from repro.core.server import Server
+from repro.datasets.synthetic import make_classification
+from repro.exceptions import ConfigurationError
+from repro.network.transport import Transport
+from repro.nn.models import LogisticRegression
+
+
+def small_config(**overrides):
+    defaults = dict(
+        deployment="ssmw",
+        num_workers=4,
+        model="logistic",
+        dataset_size=150,
+        batch_size=8,
+        num_iterations=4,
+        accuracy_every=2,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+class TestCheckpointing:
+    def build_server(self):
+        transport = Transport(seed=0)
+        dataset = make_classification(60, (1, 4, 4), num_classes=4, seed=1)
+        return Server("s0", transport, LogisticRegression(16, 4, seed=0), test_dataset=dataset)
+
+    def test_roundtrip(self, tmp_path):
+        server = self.build_server()
+        server.update_model(np.ones(server.dimension))
+        path = tmp_path / "checkpoint.npz"
+        server.save_checkpoint(path)
+
+        restored = self.build_server()
+        iterations = restored.load_checkpoint(path)
+        assert iterations == 1
+        assert np.allclose(restored.flat_parameters(), server.flat_parameters())
+
+    def test_checkpoint_preserves_iteration_counter(self, tmp_path):
+        server = self.build_server()
+        for _ in range(3):
+            server.update_model(np.zeros(server.dimension) + 0.01)
+        path = tmp_path / "ckpt.npz"
+        server.save_checkpoint(path)
+        other = self.build_server()
+        assert other.load_checkpoint(path) == 3
+        assert other.iterations_run == 3
+
+    def test_loading_wrong_dimension_fails(self, tmp_path):
+        server = self.build_server()
+        path = tmp_path / "bad.npz"
+        np.savez(path, parameters=np.zeros(3), iterations_run=np.asarray(1))
+        with pytest.raises(ConfigurationError):
+            server.load_checkpoint(path)
+
+
+class TestConfigSerialization:
+    def test_dict_roundtrip(self):
+        config = small_config(num_byzantine_workers=1, gradient_gar="median")
+        restored = ClusterConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_json_roundtrip(self):
+        config = small_config(deployment="msmw", num_servers=3, num_byzantine_servers=1, model_gar="median", num_workers=7)
+        restored = ClusterConfig.from_json(config.to_json())
+        assert restored == config
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig.from_dict({"deployment": "ssmw", "replication_factor": 3})
+
+    def test_from_dict_validates(self):
+        data = small_config().to_dict()
+        data["num_byzantine_workers"] = 99
+        with pytest.raises(ConfigurationError):
+            ClusterConfig.from_dict(data)
+
+    def test_json_is_valid_json(self):
+        parsed = json.loads(small_config().to_json())
+        assert parsed["deployment"] == "ssmw"
+
+
+class TestResultExport:
+    def test_to_dict_structure(self):
+        result = Controller(small_config()).run()
+        data = result.to_dict()
+        assert data["iterations"] == 4
+        assert data["config"]["deployment"] == "ssmw"
+        assert isinstance(data["accuracy_history"], list)
+        assert data["throughput"] > 0
+
+    def test_save_json(self, tmp_path):
+        result = Controller(small_config()).run()
+        path = tmp_path / "result.json"
+        result.save_json(path)
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["final_accuracy"] == pytest.approx(result.final_accuracy)
+        assert data["messages_sent"] == result.messages_sent
+
+
+class TestWorkerMomentum:
+    def test_momentum_accumulates_across_requests(self):
+        from repro.core.worker import Worker
+        from repro.nn.parameters import get_flat_parameters
+
+        transport = Transport(seed=0)
+        dataset = make_classification(80, (1, 4, 4), num_classes=4, seed=2)
+        worker = Worker(
+            "w", transport, LogisticRegression(16, 4, seed=0), dataset, batch_size=8, momentum=0.9, seed=3
+        )
+        state = get_flat_parameters(worker.model)
+        first = worker.compute_gradient(state)
+        second = worker.compute_gradient(state)
+        # With heavy momentum the second message includes most of the first.
+        assert np.linalg.norm(second) > 0.5 * np.linalg.norm(first)
+        assert not np.allclose(first, second)
+
+    def test_invalid_momentum_rejected(self):
+        from repro.core.worker import Worker
+
+        transport = Transport(seed=0)
+        dataset = make_classification(40, (1, 4, 4), num_classes=4, seed=2)
+        with pytest.raises(ValueError):
+            Worker("w", transport, LogisticRegression(16, 4), dataset, batch_size=8, momentum=1.5)
+
+    def test_training_with_worker_momentum(self):
+        config = small_config(worker_momentum=0.9, learning_rate=0.05)
+        result = Controller(config).run()
+        assert result.final_accuracy is not None
+
+    def test_momentum_config_reaches_workers(self):
+        deployment = Controller(small_config(worker_momentum=0.5)).build()
+        assert all(w.momentum == 0.5 for w in deployment.workers)

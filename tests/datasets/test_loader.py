@@ -1,0 +1,60 @@
+"""Tests for the cycling DataLoader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.loader import DataLoader
+from repro.datasets.synthetic import make_classification
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def dataset():
+    return make_classification(32, (1, 2, 2), num_classes=4, seed=0)
+
+
+class TestDataLoader:
+    def test_batch_shapes(self, dataset):
+        loader = DataLoader(dataset, batch_size=8, seed=0)
+        images, labels = loader.next_batch()
+        assert images.shape == (8, 1, 2, 2)
+        assert labels.shape == (8,)
+
+    def test_len_counts_full_batches(self, dataset):
+        assert len(DataLoader(dataset, batch_size=10)) == 3
+
+    def test_rejects_zero_batch(self, dataset):
+        with pytest.raises(DatasetError):
+            DataLoader(dataset, batch_size=0)
+
+    def test_rejects_batch_larger_than_dataset(self, dataset):
+        with pytest.raises(DatasetError):
+            DataLoader(dataset, batch_size=33)
+
+    def test_cycles_forever(self, dataset):
+        loader = DataLoader(dataset, batch_size=8, seed=0)
+        for _ in range(20):  # far more than one epoch
+            images, labels = loader.next_batch()
+            assert images.shape[0] == 8
+
+    def test_epoch_covers_dataset_without_replacement(self, dataset):
+        loader = DataLoader(dataset, batch_size=8, shuffle=False, seed=0)
+        seen = []
+        for images, labels in loader.epoch():
+            seen.append(labels)
+        seen = np.concatenate(seen)
+        assert seen.size == 32
+        assert np.array_equal(np.sort(seen), np.sort(dataset.labels))
+
+    def test_shuffle_changes_order_between_epochs(self, dataset):
+        loader = DataLoader(dataset, batch_size=32, shuffle=True, seed=0)
+        first = loader.next_batch()[1].copy()
+        second = loader.next_batch()[1].copy()
+        assert not np.array_equal(first, second)
+
+    def test_deterministic_given_seed(self, dataset):
+        a = DataLoader(dataset, batch_size=8, seed=5)
+        b = DataLoader(dataset, batch_size=8, seed=5)
+        assert np.array_equal(a.next_batch()[1], b.next_batch()[1])

@@ -1,0 +1,70 @@
+"""Tests for iid / non-iid partitioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.partition import partition_dataset, partition_iid, partition_non_iid
+from repro.datasets.synthetic import make_classification
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def dataset():
+    return make_classification(200, (1, 2, 2), num_classes=10, seed=0)
+
+
+class TestIid:
+    def test_covers_all_examples_exactly_once(self, dataset):
+        shards = partition_iid(dataset, 5, seed=0)
+        total = sum(len(s) for s in shards)
+        assert total == len(dataset)
+
+    def test_shards_are_nearly_equal(self, dataset):
+        shards = partition_iid(dataset, 7, seed=0)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_more_workers_than_examples(self, dataset):
+        with pytest.raises(DatasetError):
+            partition_iid(dataset, 300)
+
+    def test_rejects_zero_workers(self, dataset):
+        with pytest.raises(DatasetError):
+            partition_iid(dataset, 0)
+
+    def test_iid_shards_have_similar_label_distribution(self, dataset):
+        shards = partition_iid(dataset, 4, seed=0)
+        fractions = [np.bincount(s.labels, minlength=10) / len(s) for s in shards]
+        for frac in fractions:
+            assert np.abs(frac - 0.1).max() < 0.12
+
+
+class TestNonIid:
+    def test_covers_all_workers(self, dataset):
+        shards = partition_non_iid(dataset, 5, alpha=0.3, seed=0)
+        assert len(shards) == 5
+        assert all(len(s) >= 1 for s in shards)
+
+    def test_low_alpha_is_more_skewed_than_high_alpha(self, dataset):
+        def skew(shards):
+            # Average maximum class share across shards; higher = more skewed.
+            shares = []
+            for shard in shards:
+                counts = np.bincount(shard.labels, minlength=10)
+                shares.append(counts.max() / max(1, counts.sum()))
+            return float(np.mean(shares))
+
+        skewed = partition_non_iid(dataset, 5, alpha=0.1, seed=0)
+        uniform = partition_non_iid(dataset, 5, alpha=100.0, seed=0)
+        assert skew(skewed) > skew(uniform)
+
+    def test_rejects_bad_alpha(self, dataset):
+        with pytest.raises(DatasetError):
+            partition_non_iid(dataset, 5, alpha=0.0)
+
+    def test_dispatch_helper(self, dataset):
+        iid = partition_dataset(dataset, 4, iid=True, seed=0)
+        non_iid = partition_dataset(dataset, 4, iid=False, alpha=0.2, seed=0)
+        assert len(iid) == len(non_iid) == 4

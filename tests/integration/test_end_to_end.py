@@ -1,0 +1,206 @@
+"""Integration tests: whole deployments trained end to end.
+
+These mirror, at tiny scale, the behavioural claims of the paper's evaluation:
+robust deployments learn under attack while vanilla averaging does not
+(Figure 5), all deployments converge without attacks (Figure 4), and the
+crash-tolerant protocol survives a primary failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import ClusterConfig
+from repro.core.controller import Controller
+
+
+def train(**overrides):
+    defaults = dict(
+        deployment="ssmw",
+        num_workers=6,
+        num_byzantine_workers=0,
+        num_attacking_workers=0,
+        gradient_gar="multi-krum",
+        model="logistic",
+        dataset="mnist",
+        dataset_size=400,
+        dataset_noise=0.7,
+        batch_size=16,
+        learning_rate=0.2,
+        num_iterations=30,
+        accuracy_every=10,
+        seed=21,
+    )
+    defaults.update(overrides)
+    return Controller(ClusterConfig(**defaults)).run()
+
+
+@pytest.mark.slow
+class TestConvergenceWithoutAttack:
+    """Figure 4 analogue: every deployment reaches a sensible accuracy."""
+
+    @pytest.mark.parametrize(
+        "deployment, extra",
+        [
+            ("vanilla", {}),
+            ("aggregathor", {}),
+            ("ssmw", {}),
+            ("crash-tolerant", {"num_servers": 3}),
+            (
+                "msmw",
+                {
+                    "num_servers": 3,
+                    "num_byzantine_servers": 1,
+                    "model_gar": "median",
+                    "num_workers": 7,
+                    "num_byzantine_workers": 1,
+                },
+            ),
+            (
+                "decentralized",
+                {"num_servers": 0, "num_workers": 6, "num_byzantine_workers": 1, "gradient_gar": "median", "model_gar": "median"},
+            ),
+        ],
+    )
+    def test_deployment_learns(self, deployment, extra):
+        result = train(deployment=deployment, **extra)
+        first_accuracy = result.accuracy_history[0][1]
+        assert result.final_accuracy > 0.5
+        assert result.final_accuracy >= first_accuracy - 0.05
+
+
+@pytest.mark.slow
+class TestByzantineBehaviour:
+    """Figure 5 analogue: attacks break averaging but not robust aggregation."""
+
+    @pytest.mark.parametrize("attack", ["random", "reversed"])
+    def test_vanilla_fails_under_attack(self, attack):
+        # A vanilla deployment has no declared Byzantine workers, so we mark
+        # one worker as attacking while keeping the averaging aggregation.
+        result = train(
+            deployment="vanilla",
+            num_workers=6,
+            num_byzantine_workers=1,
+            num_attacking_workers=1,
+            worker_attack=attack,
+            num_iterations=25,
+        )
+        robust = train(
+            deployment="ssmw",
+            num_workers=6,
+            num_byzantine_workers=1,
+            num_attacking_workers=1,
+            worker_attack=attack,
+            num_iterations=25,
+        )
+        assert robust.final_accuracy > result.final_accuracy + 0.1
+
+    @pytest.mark.parametrize("attack", ["random", "reversed", "little-is-enough", "fall-of-empires"])
+    def test_ssmw_learns_under_every_attack(self, attack):
+        result = train(
+            deployment="ssmw",
+            num_workers=8,
+            num_byzantine_workers=2,
+            num_attacking_workers=2,
+            worker_attack=attack,
+            num_iterations=30,
+        )
+        assert result.final_accuracy > 0.5
+
+    def test_msmw_tolerates_byzantine_servers_and_workers(self):
+        result = train(
+            deployment="msmw",
+            num_workers=7,
+            num_byzantine_workers=1,
+            num_attacking_workers=1,
+            worker_attack="reversed",
+            num_servers=4,
+            num_byzantine_servers=1,
+            num_attacking_servers=1,
+            server_attack="random",
+            model_gar="median",
+            num_iterations=30,
+        )
+        assert result.final_accuracy > 0.5
+
+    def test_decentralized_tolerates_byzantine_peer(self):
+        result = train(
+            deployment="decentralized",
+            num_servers=0,
+            num_workers=7,
+            num_byzantine_workers=1,
+            num_attacking_workers=1,
+            worker_attack="random",
+            gradient_gar="median",
+            model_gar="median",
+            num_iterations=25,
+        )
+        assert result.final_accuracy > 0.5
+
+
+@pytest.mark.slow
+class TestCrashResilience:
+    def test_crash_tolerant_survives_primary_failure_mid_training(self):
+        config = ClusterConfig(
+            deployment="crash-tolerant",
+            num_servers=3,
+            num_workers=6,
+            model="logistic",
+            dataset_size=400,
+            batch_size=16,
+            learning_rate=0.2,
+            num_iterations=30,
+            accuracy_every=10,
+            seed=21,
+        )
+        controller = Controller(config)
+        deployment = controller.build()
+
+        # Run the first half, crash the primary, then finish.
+        from repro.apps.crash_tolerant import run_crash_tolerant
+
+        deployment.config.num_iterations = 15
+        run_crash_tolerant(deployment)
+        deployment.transport.failures.crash("server-0")
+        run_crash_tolerant(deployment)
+        result = controller.collect_result(deployment)
+        assert len(result.metrics) == 30
+        assert result.final_accuracy > 0.5
+
+
+@pytest.mark.slow
+class TestAccuracyLossClaim:
+    """Byzantine resilience (unlike crash resilience) can cost accuracy."""
+
+    def test_crash_tolerance_matches_vanilla_accuracy(self):
+        vanilla = train(deployment="vanilla", num_iterations=30)
+        crash = train(deployment="crash-tolerant", num_servers=3, num_iterations=30)
+        assert abs(vanilla.final_accuracy - crash.final_accuracy) < 0.1
+
+    def test_byzantine_deployment_never_beats_vanilla_by_much(self):
+        vanilla = train(deployment="vanilla", num_iterations=30)
+        msmw = train(
+            deployment="msmw",
+            num_workers=7,
+            num_byzantine_workers=1,
+            num_servers=3,
+            num_byzantine_servers=1,
+            model_gar="median",
+            num_iterations=30,
+        )
+        assert msmw.final_accuracy <= vanilla.final_accuracy + 0.1
+
+
+class TestTransportAccounting:
+    def test_messages_scale_with_cluster_size(self):
+        small = train(num_workers=4, num_iterations=5, dataset_size=200)
+        large = train(num_workers=8, num_iterations=5, dataset_size=200)
+        assert large.messages_sent > small.messages_sent
+
+    def test_simulated_time_breakdown_is_complete(self):
+        result = train(num_iterations=5, dataset_size=200)
+        breakdown = result.breakdown
+        assert breakdown["communication"] > 0
+        assert breakdown["computation"] > 0
+        assert result.metrics.total_time > 0

@@ -1,0 +1,136 @@
+"""Tests for the device abstraction and the analytic cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregators import init
+from repro.exceptions import ConfigurationError
+from repro.network.cost import (
+    CPU,
+    GPU,
+    PYTORCH,
+    TENSORFLOW,
+    CostModel,
+    Device,
+    NetworkParameters,
+)
+
+
+class TestDevice:
+    def test_gpu_is_faster_than_cpu(self):
+        assert GPU.flops_per_second > CPU.flops_per_second
+        assert GPU.aggregation_elements_per_second > CPU.aggregation_elements_per_second
+
+    def test_gpu_compute_about_an_order_of_magnitude_faster(self):
+        """Section 1: GPUs give at least one order of magnitude improvement."""
+        assert GPU.flops_per_second / CPU.flops_per_second >= 10
+
+    def test_invalid_device_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Device("bad", flops_per_second=0, aggregation_elements_per_second=1, host_transfer_bytes_per_s=1)
+
+
+class TestComputeTime:
+    def test_scales_linearly_with_dimension_and_batch(self):
+        model = CostModel(device=CPU)
+        base = model.compute_time(1_000_000, 32)
+        assert model.compute_time(2_000_000, 32) == pytest.approx(2 * base)
+        assert model.compute_time(1_000_000, 64) == pytest.approx(2 * base)
+
+    def test_gpu_faster_than_cpu(self):
+        d, b = 10_000_000, 32
+        assert CostModel(device=GPU).compute_time(d, b) < CostModel(device=CPU).compute_time(d, b)
+
+    def test_resnet50_cpu_iteration_near_paper_value(self):
+        """Figure 7 reports roughly 1.6 s of computation per iteration."""
+        seconds = CostModel(device=CPU).compute_time(23_539_850, 32)
+        assert 0.8 < seconds < 3.0
+
+    def test_rejects_non_positive_inputs(self):
+        with pytest.raises(ConfigurationError):
+            CostModel().compute_time(0, 32)
+        with pytest.raises(ConfigurationError):
+            CostModel().compute_time(100, 0)
+
+
+class TestSerialization:
+    def test_vanilla_pays_nothing(self):
+        model = CostModel(framework=TENSORFLOW)
+        assert model.serialization_time(1_000_000, 10, vanilla=True) == 0.0
+
+    def test_tensorflow_pays_context_switch_per_message(self):
+        model = CostModel(framework=TENSORFLOW)
+        one = model.serialization_time(1_000, 1)
+        ten = model.serialization_time(1_000, 10)
+        assert ten == pytest.approx(10 * one, rel=1e-6)
+
+    def test_pytorch_cheaper_than_tensorflow(self):
+        tf = CostModel(framework=TENSORFLOW).serialization_time(10_000_000, 5)
+        pt = CostModel(framework=PYTORCH).serialization_time(10_000_000, 5)
+        assert pt < tf
+
+    def test_zero_messages_cost_nothing(self):
+        assert CostModel().serialization_time(1_000_000, 0) == 0.0
+
+
+class TestTransfer:
+    def test_vanilla_runtime_is_faster(self):
+        model = CostModel()
+        garfield = model.transfer_time(10_000_000, 10, vanilla=False)
+        vanilla = model.transfer_time(10_000_000, 10, vanilla=True)
+        assert vanilla < garfield
+
+    def test_gpu_collectives_speed_up_pytorch(self):
+        model = CostModel(device=GPU, framework=PYTORCH)
+        on_gpu = model.transfer_time(10_000_000, 10, on_gpu=True)
+        off_gpu = model.transfer_time(10_000_000, 10, on_gpu=False)
+        assert on_gpu < off_gpu
+
+    def test_gpu_flag_has_no_effect_for_tensorflow_rpc(self):
+        model = CostModel(device=GPU, framework=TENSORFLOW)
+        assert model.transfer_time(1_000_000, 4, on_gpu=True) == pytest.approx(
+            model.transfer_time(1_000_000, 4, on_gpu=False)
+        )
+
+    def test_scales_with_messages(self):
+        model = CostModel()
+        assert model.transfer_time(1_000_000, 20) > model.transfer_time(1_000_000, 10)
+
+    def test_zero_messages(self):
+        assert CostModel().transfer_time(1_000_000, 0) == 0.0
+
+
+class TestAggregationTime:
+    def test_none_gar_costs_nothing(self):
+        assert CostModel().aggregation_time(None, 1_000_000) == 0.0
+
+    def test_multikrum_more_expensive_than_average(self):
+        model = CostModel(device=GPU)
+        n, f, d = 17, 3, 10_000_000
+        assert model.aggregation_time(init("multi-krum", n=n, f=f), d) > model.aggregation_time(
+            init("average", n=n, f=0), d
+        )
+
+    def test_gpu_aggregation_faster_than_cpu(self):
+        gar = init("bulyan", n=17, f=3)
+        assert CostModel(device=GPU).aggregation_time(gar, 10_000_000) < CostModel(device=CPU).aggregation_time(
+            gar, 10_000_000
+        )
+
+    def test_median_close_to_average_on_gpu(self):
+        """Figure 3a: Median maintains performance very close to Average."""
+        model = CostModel(device=GPU)
+        d = 10_000_000
+        median = model.aggregation_time(init("median", n=17, f=3), d)
+        average = model.aggregation_time(init("average", n=17, f=0), d)
+        assert median < 3 * average
+
+
+class TestNetworkParameters:
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkParameters(bandwidth_bytes_per_s=0)
+
+    def test_message_bytes_uses_float32(self):
+        assert CostModel().message_bytes(1_000) == 4_000

@@ -1,0 +1,63 @@
+"""Tests for crash / straggler / drop injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.failures import FailureInjector
+
+
+class TestCrash:
+    def test_crash_and_recover(self):
+        injector = FailureInjector()
+        injector.crash("node-1")
+        assert injector.is_crashed("node-1")
+        injector.recover("node-1")
+        assert not injector.is_crashed("node-1")
+
+    def test_recover_unknown_node_is_noop(self):
+        FailureInjector().recover("ghost")
+
+    def test_reset_clears_everything(self):
+        injector = FailureInjector()
+        injector.crash("a")
+        injector.set_straggler("b", 3.0)
+        injector.reset()
+        assert not injector.is_crashed("a")
+        assert injector.latency_factor("b") == 1.0
+
+
+class TestStragglers:
+    def test_default_factor_is_one(self):
+        assert FailureInjector().latency_factor("anything") == 1.0
+
+    def test_set_and_clear(self):
+        injector = FailureInjector()
+        injector.set_straggler("slow", 5.0)
+        assert injector.latency_factor("slow") == 5.0
+        injector.clear_straggler("slow")
+        assert injector.latency_factor("slow") == 1.0
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            FailureInjector().set_straggler("x", 0.5)
+
+
+class TestDrops:
+    def test_zero_probability_never_drops(self):
+        injector = FailureInjector(drop_probability=0.0)
+        assert not any(injector.should_drop() for _ in range(100))
+
+    def test_high_probability_drops_often(self):
+        injector = FailureInjector(seed=1, drop_probability=0.9)
+        drops = sum(injector.should_drop() for _ in range(200))
+        assert drops > 150
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FailureInjector(drop_probability=1.0)
+
+    def test_deterministic_given_seed(self):
+        a = [FailureInjector(seed=3, drop_probability=0.5).should_drop() for _ in range(1)]
+        b = [FailureInjector(seed=3, drop_probability=0.5).should_drop() for _ in range(1)]
+        assert a == b

@@ -1,0 +1,67 @@
+"""Tests for vector serialization (the protocol-buffer substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CommunicationError
+from repro.network.serialization import deserialize_vector, serialize_vector, serialized_nbytes
+
+
+class TestRoundTrip:
+    def test_1d_roundtrip(self):
+        vector = np.random.default_rng(0).normal(size=257)
+        assert np.allclose(deserialize_vector(serialize_vector(vector)), vector)
+
+    def test_2d_roundtrip_preserves_shape(self):
+        matrix = np.arange(12.0).reshape(3, 4)
+        restored = deserialize_vector(serialize_vector(matrix))
+        assert restored.shape == (3, 4)
+        assert np.allclose(restored, matrix)
+
+    def test_empty_vector(self):
+        restored = deserialize_vector(serialize_vector(np.zeros(0)))
+        assert restored.size == 0
+
+    def test_scalar_array(self):
+        restored = deserialize_vector(serialize_vector(np.array(3.5)))
+        assert restored == pytest.approx(3.5)
+
+    def test_non_contiguous_input(self):
+        matrix = np.arange(20.0).reshape(4, 5)[:, ::2]
+        restored = deserialize_vector(serialize_vector(matrix))
+        assert np.allclose(restored, matrix)
+
+    def test_deserialized_is_writable_copy(self):
+        vector = np.ones(8)
+        restored = deserialize_vector(serialize_vector(vector))
+        restored[0] = 99.0  # must not raise (frombuffer alone would be read-only)
+        assert vector[0] == 1.0
+
+
+class TestErrors:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CommunicationError):
+            deserialize_vector(b"JUNKxxxxxxxxxxxxxxxxxxxxx")
+
+    def test_truncated_payload_rejected(self):
+        blob = serialize_vector(np.ones(16))
+        with pytest.raises(CommunicationError):
+            deserialize_vector(blob[:-8])
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(CommunicationError):
+            deserialize_vector(b"")
+
+
+class TestSizeAccounting:
+    def test_wire_size_scales_with_dimension(self):
+        assert serialized_nbytes(2_000) > serialized_nbytes(1_000)
+
+    def test_wire_size_uses_float32_by_default(self):
+        small, large = serialized_nbytes(0), serialized_nbytes(1_000_000)
+        assert large - small == 4_000_000
+
+    def test_custom_bytes_per_element(self):
+        assert serialized_nbytes(100, bytes_per_element=8) - serialized_nbytes(0, bytes_per_element=8) == 800

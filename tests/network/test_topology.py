@@ -1,0 +1,83 @@
+"""Tests for cluster topologies and message accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.topology import DEPLOYMENTS, build_topology, messages_per_round
+
+
+class TestBuildTopology:
+    def test_single_server_star(self):
+        topo = build_topology("ssmw", num_workers=4)
+        assert len(topo.worker_ids) == 4
+        assert len(topo.server_ids) == 1
+        # Each worker<->server pair has two directed edges.
+        assert topo.num_links == 8
+
+    def test_vanilla_forces_single_server(self):
+        topo = build_topology("vanilla", num_workers=3, num_servers=5)
+        assert len(topo.server_ids) == 1
+
+    def test_msmw_adds_server_to_server_links(self):
+        topo = build_topology("msmw", num_workers=4, num_servers=3)
+        assert topo.num_links == 4 * 3 * 2 + 3 * 2
+
+    def test_decentralized_is_complete_graph(self):
+        topo = build_topology("decentralized", num_workers=5)
+        assert topo.num_links == 5 * 4
+        assert len(topo.server_ids) == 0
+
+    def test_unknown_deployment(self):
+        with pytest.raises(ConfigurationError):
+            build_topology("federated", num_workers=3)
+
+    def test_requires_workers(self):
+        with pytest.raises(ConfigurationError):
+            build_topology("ssmw", num_workers=0)
+
+    def test_replicated_requires_servers(self):
+        with pytest.raises(ConfigurationError):
+            build_topology("msmw", num_workers=3, num_servers=0)
+
+
+class TestMessagesPerRound:
+    def test_parameter_server_is_linear_in_workers(self):
+        counts = messages_per_round("ssmw", num_workers=18)
+        assert counts["model_messages"] == 18
+        assert counts["gradient_messages"] == 18
+
+    def test_crash_tolerant_replicates_gradient_collection(self):
+        counts = messages_per_round("crash-tolerant", num_workers=18, num_servers=6)
+        assert counts["gradient_messages"] == 18 * 6
+        assert counts["model_messages"] == 18
+
+    def test_msmw_adds_server_exchange(self):
+        counts = messages_per_round("msmw", num_workers=18, num_servers=6)
+        assert counts["server_model_messages"] == 30
+        assert counts["model_messages"] == 108
+
+    def test_decentralized_is_quadratic(self):
+        small = messages_per_round("decentralized", num_workers=6)
+        large = messages_per_round("decentralized", num_workers=12)
+        total_small = sum(small.values())
+        total_large = sum(large.values())
+        assert total_large / total_small == pytest.approx((12 * 11) / (6 * 5))
+
+    def test_vanilla_versus_decentralized_scaling_claim(self):
+        """The O(n) vs O(n^2) claim behind Figure 9."""
+        for n in [4, 8, 16]:
+            vanilla = sum(messages_per_round("vanilla", num_workers=n).values())
+            decentralized = sum(messages_per_round("decentralized", num_workers=n).values())
+            assert vanilla == 2 * n
+            assert decentralized == 3 * n * (n - 1)
+
+    def test_all_deployments_supported(self):
+        for deployment in DEPLOYMENTS:
+            counts = messages_per_round(deployment, num_workers=5, num_servers=3)
+            assert all(value >= 0 for value in counts.values())
+
+    def test_unknown_deployment(self):
+        with pytest.raises(ConfigurationError):
+            messages_per_round("gossip", num_workers=5)

@@ -1,0 +1,169 @@
+"""Tests for the pull-based transport and its quorum semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CommunicationError, NodeCrashedError, TimeoutError
+from repro.network.failures import FailureInjector
+from repro.network.transport import LinkModel, Transport
+
+
+def build_cluster(num_nodes=5, seed=0, drop_probability=0.0):
+    transport = Transport(
+        link=LinkModel(base_latency=1e-3, jitter=1e-4),
+        failures=FailureInjector(seed=seed, drop_probability=drop_probability),
+        seed=seed,
+    )
+    for index in range(num_nodes):
+        node_id = f"node-{index}"
+        transport.register_node(node_id, object())
+        transport.register_handler(
+            node_id, "value", lambda ctx, i=index: np.full(4, float(i))
+        )
+    return transport
+
+
+class TestRegistration:
+    def test_duplicate_node_id_rejected(self):
+        transport = Transport()
+        transport.register_node("a", object())
+        with pytest.raises(CommunicationError):
+            transport.register_node("a", object())
+
+    def test_known_nodes_sorted(self):
+        transport = build_cluster(3)
+        assert transport.known_nodes() == ["node-0", "node-1", "node-2"]
+
+    def test_has_handler(self):
+        transport = build_cluster(2)
+        assert transport.has_handler("node-0", "value")
+        assert not transport.has_handler("node-0", "gradient")
+
+
+class TestPull:
+    def test_pull_returns_payload_and_latency(self):
+        transport = build_cluster(3)
+        reply = transport.pull("node-0", "node-1", "value")
+        assert np.allclose(reply.payload, 1.0)
+        assert reply.latency > 0
+        assert reply.nbytes > 0
+
+    def test_pull_unknown_kind_raises(self):
+        transport = build_cluster(2)
+        with pytest.raises(CommunicationError):
+            transport.pull("node-0", "node-1", "gradient")
+
+    def test_pull_from_crashed_node_raises(self):
+        transport = build_cluster(2)
+        transport.failures.crash("node-1")
+        with pytest.raises(NodeCrashedError):
+            transport.pull("node-0", "node-1", "value")
+
+    def test_stats_accumulate(self):
+        transport = build_cluster(3)
+        transport.pull("node-0", "node-1", "value")
+        transport.pull("node-0", "node-2", "value")
+        assert transport.stats.messages_sent == 2
+        assert transport.stats.bytes_sent > 0
+        assert transport.stats.per_kind_messages["value"] == 2
+
+    def test_stats_reset(self):
+        transport = build_cluster(2)
+        transport.pull("node-0", "node-1", "value")
+        transport.stats.reset()
+        assert transport.stats.messages_sent == 0
+
+    def test_request_payload_reaches_handler(self):
+        transport = Transport()
+        transport.register_node("a", object())
+        transport.register_node("b", object())
+        received = {}
+
+        def handler(ctx):
+            received["payload"] = ctx.payload
+            received["requester"] = ctx.requester
+            return np.zeros(1)
+
+        transport.register_handler("b", "echo", handler)
+        transport.pull("a", "b", "echo", iteration=3, payload=np.arange(4.0))
+        assert np.allclose(received["payload"], np.arange(4.0))
+        assert received["requester"] == "a"
+
+
+class TestPullMany:
+    def test_returns_exactly_quorum_fastest(self):
+        transport = build_cluster(6)
+        peers = [f"node-{i}" for i in range(1, 6)]
+        replies, elapsed = transport.pull_many("node-0", peers, "value", quorum=3)
+        assert len(replies) == 3
+        assert elapsed == max(r.latency for r in replies)
+        latencies = [r.latency for r in replies]
+        assert latencies == sorted(latencies)
+
+    def test_quorum_larger_than_peers_rejected(self):
+        transport = build_cluster(3)
+        with pytest.raises(CommunicationError):
+            transport.pull_many("node-0", ["node-1", "node-2"], "value", quorum=3)
+
+    def test_zero_quorum_rejected(self):
+        transport = build_cluster(3)
+        with pytest.raises(CommunicationError):
+            transport.pull_many("node-0", ["node-1"], "value", quorum=0)
+
+    def test_crashed_peers_are_skipped(self):
+        transport = build_cluster(5)
+        transport.failures.crash("node-2")
+        peers = [f"node-{i}" for i in range(1, 5)]
+        replies, _ = transport.pull_many("node-0", peers, "value", quorum=3)
+        assert len(replies) == 3
+        assert all(r.source != "node-2" for r in replies)
+
+    def test_timeout_when_quorum_unreachable(self):
+        transport = build_cluster(4)
+        transport.failures.crash("node-2")
+        transport.failures.crash("node-3")
+        peers = ["node-1", "node-2", "node-3"]
+        with pytest.raises(TimeoutError):
+            transport.pull_many("node-0", peers, "value", quorum=2)
+
+    def test_silent_byzantine_replies_do_not_count(self):
+        transport = build_cluster(4)
+        transport.register_handler("node-3", "value", lambda ctx: None)  # drop attack
+        peers = ["node-1", "node-2", "node-3"]
+        replies, _ = transport.pull_many("node-0", peers, "value", quorum=2)
+        assert len(replies) == 2
+        assert all(r.source != "node-3" for r in replies)
+
+    def test_straggler_rarely_in_small_quorum(self):
+        transport = build_cluster(6, seed=3)
+        transport.failures.set_straggler("node-5", 100.0)
+        peers = [f"node-{i}" for i in range(1, 6)]
+        fastest_sources = set()
+        for _ in range(10):
+            replies, _ = transport.pull_many("node-0", peers, "value", quorum=2)
+            fastest_sources.update(r.source for r in replies)
+        assert "node-5" not in fastest_sources
+
+    def test_dropped_messages_reduce_usable_replies(self):
+        transport = build_cluster(6, seed=1, drop_probability=0.95)
+        peers = [f"node-{i}" for i in range(1, 6)]
+        with pytest.raises(TimeoutError):
+            transport.pull_many("node-0", peers, "value", quorum=5)
+
+
+class TestLinkModel:
+    def test_latency_grows_with_message_size(self):
+        link = LinkModel(base_latency=1e-3, jitter=0.0, bandwidth_bytes_per_s=1e6)
+        rng = np.random.default_rng(0)
+        small = link.sample_latency(rng, 1_000)
+        large = link.sample_latency(rng, 1_000_000)
+        assert large > small
+
+    def test_straggler_factor_multiplies(self):
+        link = LinkModel(base_latency=1e-3, jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert link.sample_latency(rng, 100, factor=10.0) == pytest.approx(
+            10.0 * link.sample_latency(rng, 100, factor=1.0)
+        )

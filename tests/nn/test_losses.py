@@ -1,0 +1,72 @@
+"""Tests for the loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.tensor import Tensor
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_num_classes(self):
+        loss = CrossEntropyLoss()
+        logits = Tensor(np.zeros((4, 10)))
+        value = loss(logits, np.zeros(4, dtype=int))
+        assert value.item() == pytest.approx(np.log(10))
+
+    def test_confident_correct_prediction_has_low_loss(self):
+        loss = CrossEntropyLoss()
+        logits = np.full((2, 3), -10.0)
+        logits[0, 1] = 10.0
+        logits[1, 2] = 10.0
+        value = loss(Tensor(logits), np.array([1, 2]))
+        assert value.item() < 1e-4
+
+    def test_confident_wrong_prediction_has_high_loss(self):
+        loss = CrossEntropyLoss()
+        logits = np.full((1, 3), -10.0)
+        logits[0, 0] = 10.0
+        value = loss(Tensor(logits), np.array([2]))
+        assert value.item() > 5.0
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        loss = CrossEntropyLoss()
+        logits_val = np.array([[1.0, 2.0, 3.0]])
+        logits = Tensor(logits_val, requires_grad=True)
+        loss(logits, np.array([0])).backward()
+        softmax = np.exp(logits_val) / np.exp(logits_val).sum()
+        expected = softmax.copy()
+        expected[0, 0] -= 1.0
+        assert np.allclose(logits.grad, expected, atol=1e-8)
+
+    def test_rejects_non_2d_logits(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(Tensor(np.zeros(5)), np.zeros(5, dtype=int))
+
+    def test_rejects_mismatched_batch(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(Tensor(np.zeros((3, 4))), np.zeros(2, dtype=int))
+
+    def test_accuracy_helper(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2], [0.3, 0.7]])
+        acc = CrossEntropyLoss.accuracy(Tensor(logits), np.array([1, 0, 0]))
+        assert acc == pytest.approx(2.0 / 3.0)
+
+
+class TestMSE:
+    def test_zero_for_equal_inputs(self):
+        loss = MSELoss()
+        pred = Tensor(np.arange(4.0))
+        assert loss(pred, np.arange(4.0)).item() == pytest.approx(0.0)
+
+    def test_known_value(self):
+        loss = MSELoss()
+        pred = Tensor(np.array([1.0, 3.0]))
+        assert loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(5.0)
+
+    def test_gradient(self):
+        pred = Tensor(np.array([2.0]), requires_grad=True)
+        MSELoss()(pred, np.array([0.0])).backward()
+        assert np.allclose(pred.grad, [4.0])

@@ -1,0 +1,119 @@
+"""Tests for the model zoo and the Table 1 registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.models import (
+    MODEL_REGISTRY,
+    PAPER_MODEL_DIMENSIONS,
+    PAPER_MODEL_SIZES_MB,
+    CifarNet,
+    InceptionLite,
+    LogisticRegression,
+    MnistCnn,
+    ResNetLite,
+    VggLite,
+    build_model,
+    model_dimension,
+    model_size_mb,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestTrainableModels:
+    def test_logistic_forward_shape(self):
+        model = LogisticRegression(input_dim=16, num_classes=4)
+        out = model(Tensor(np.zeros((5, 1, 4, 4))))
+        assert out.shape == (5, 4)
+
+    def test_mnist_cnn_forward_shape(self):
+        model = MnistCnn()
+        out = model(Tensor(np.zeros((2, 1, 28, 28))))
+        assert out.shape == (2, 10)
+
+    def test_cifarnet_forward_shape(self):
+        model = CifarNet()
+        out = model(Tensor(np.zeros((2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_inception_forward_shape(self):
+        model = InceptionLite()
+        out = model(Tensor(np.zeros((1, 3, 32, 32))))
+        assert out.shape == (1, 10)
+
+    def test_resnet_forward_shape(self):
+        model = ResNetLite(num_blocks=1)
+        out = model(Tensor(np.zeros((1, 3, 32, 32))))
+        assert out.shape == (1, 10)
+
+    def test_vgg_forward_shape(self):
+        model = VggLite()
+        out = model(Tensor(np.zeros((1, 3, 32, 32))))
+        assert out.shape == (1, 10)
+
+    def test_resnet_requires_blocks(self):
+        with pytest.raises(ConfigurationError):
+            ResNetLite(num_blocks=0)
+
+    def test_gradients_reach_all_parameters(self):
+        model = MnistCnn()
+        out = model(Tensor(np.random.default_rng(0).normal(size=(2, 1, 28, 28))))
+        out.sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_inception_gradients_reach_both_branches(self):
+        model = InceptionLite()
+        out = model(Tensor(np.random.default_rng(1).normal(size=(1, 3, 32, 32))))
+        out.sum().backward()
+        assert model.block1.branch1.weight.grad is not None
+        assert model.block1.branch3.weight.grad is not None
+
+    def test_same_seed_gives_identical_models(self):
+        a, b = MnistCnn(seed=3), MnistCnn(seed=3)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            assert np.allclose(pa.data, pb.data)
+
+
+class TestRegistry:
+    def test_registry_covers_paper_models(self):
+        for name in ["mnist_cnn", "cifarnet", "inception", "resnet50", "resnet200", "vgg"]:
+            assert name in MODEL_REGISTRY
+
+    def test_build_model_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            build_model("transformer-42")
+
+    def test_build_model_resnet_depth_ordering(self):
+        r50 = build_model("resnet50")
+        r200 = build_model("resnet200")
+        assert r200.num_parameters() > r50.num_parameters()
+
+    def test_paper_dimensions_match_table1(self):
+        assert PAPER_MODEL_DIMENSIONS["mnist_cnn"] == 79_510
+        assert PAPER_MODEL_DIMENSIONS["cifarnet"] == 1_756_426
+        assert PAPER_MODEL_DIMENSIONS["resnet50"] == 23_539_850
+        assert PAPER_MODEL_DIMENSIONS["vgg"] == 128_807_306
+
+    def test_model_dimension_prefers_live_model(self):
+        model = MnistCnn()
+        assert model_dimension("mnist_cnn", model) == model.num_parameters()
+
+    def test_model_dimension_falls_back_to_paper(self):
+        assert model_dimension("vgg") == PAPER_MODEL_DIMENSIONS["vgg"]
+
+    def test_model_dimension_unknown(self):
+        with pytest.raises(ConfigurationError):
+            model_dimension("alexnet")
+
+    def test_model_size_mb_roughly_matches_table1(self):
+        """Table 1 sizes are d * 4 bytes; allow a few percent of slack."""
+        for name, size in PAPER_MODEL_SIZES_MB.items():
+            assert model_size_mb(name) == pytest.approx(size, rel=0.1)
+
+    def test_dimensions_strictly_increase_in_table_order(self):
+        order = ["mnist_cnn", "cifarnet", "inception", "resnet50", "resnet200", "vgg"]
+        dims = [PAPER_MODEL_DIMENSIONS[m] for m in order]
+        assert dims == sorted(dims)

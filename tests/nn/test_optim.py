@@ -1,0 +1,118 @@
+"""Tests for optimizers, schedules and flat-gradient application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Parameter
+from repro.nn.optim import SGD, Adam, StepLR
+from repro.nn.parameters import get_flat_parameters
+from repro.nn.tensor import Tensor
+
+
+def make_param(values):
+    return Parameter(np.asarray(values, dtype=np.float64))
+
+
+class TestSGD:
+    def test_rejects_non_positive_lr(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], lr=0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], lr=0.1, momentum=1.5)
+
+    def test_basic_step(self):
+        p = make_param([1.0, 2.0])
+        p.grad = np.array([0.5, -0.5])
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [0.95, 2.05])
+
+    def test_skips_params_without_grad(self):
+        p = make_param([1.0])
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [1.0])
+
+    def test_momentum_accumulates(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        p.grad = np.array([1.0])
+        opt.step()
+        p.grad = np.array([1.0])
+        opt.step()
+        # velocities: 1.0 then 1.5 -> positions 0 - 1 - 1.5 = -2.5
+        assert np.allclose(p.data, [-2.5])
+
+    def test_weight_decay_shrinks_weights(self):
+        p = make_param([10.0])
+        opt = SGD([p], lr=0.1, weight_decay=0.1)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] < 10.0
+
+    def test_zero_grad(self):
+        p = make_param([1.0])
+        p.grad = np.array([1.0])
+        SGD([p], lr=0.1).zero_grad()
+        assert p.grad is None
+
+    def test_apply_flat_gradient(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        before = get_flat_parameters(layer).copy()
+        opt = SGD(layer.parameters(), lr=0.5)
+        flat = np.ones(layer.num_parameters())
+        opt.apply_flat_gradient(flat)
+        after = get_flat_parameters(layer)
+        assert np.allclose(after, before - 0.5)
+
+    def test_apply_flat_gradient_wrong_size_raises(self):
+        layer = Linear(2, 2)
+        opt = SGD(layer.parameters(), lr=0.1)
+        with pytest.raises(ValueError):
+            opt.apply_flat_gradient(np.ones(layer.num_parameters() + 1))
+
+    def test_training_reduces_loss_on_quadratic(self):
+        p = make_param([5.0])
+        opt = SGD([p], lr=0.1)
+        for _ in range(50):
+            opt.zero_grad()
+            loss = (Tensor(p.data) * 0.0).sum()  # placeholder to keep API parity
+            p.grad = 2.0 * p.data  # gradient of p^2
+            opt.step()
+        assert abs(p.data[0]) < 0.1
+        assert loss.item() == 0.0
+
+
+class TestAdam:
+    def test_step_moves_against_gradient(self):
+        p = make_param([1.0])
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_converges_on_quadratic(self):
+        p = make_param([3.0])
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            p.grad = 2.0 * p.data
+            opt.step()
+        assert abs(p.data[0]) < 0.05
+
+
+class TestStepLR:
+    def test_decays_at_step_size(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[1] == pytest.approx(0.1)
+        assert lrs[3] == pytest.approx(0.01)
+
+    def test_rejects_bad_step_size(self):
+        opt = SGD([make_param([0.0])], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)

@@ -1,0 +1,59 @@
+"""Tests for flat parameter / gradient conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.nn.parameters import (
+    get_flat_gradients,
+    get_flat_parameters,
+    set_flat_gradients,
+    set_flat_parameters,
+)
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def model():
+    return Sequential(Linear(3, 4, rng=np.random.default_rng(0)), ReLU(), Linear(4, 2, rng=np.random.default_rng(1)))
+
+
+class TestFlatParameters:
+    def test_roundtrip(self, model):
+        flat = get_flat_parameters(model)
+        assert flat.size == model.num_parameters()
+        set_flat_parameters(model, flat * 2.0)
+        assert np.allclose(get_flat_parameters(model), flat * 2.0)
+
+    def test_set_wrong_size_raises(self, model):
+        with pytest.raises(ValueError):
+            set_flat_parameters(model, np.zeros(model.num_parameters() + 3))
+
+    def test_flat_vector_is_float64(self, model):
+        assert get_flat_parameters(model).dtype == np.float64
+
+    def test_two_models_same_flat_after_copy(self, model):
+        other = Sequential(Linear(3, 4), ReLU(), Linear(4, 2))
+        set_flat_parameters(other, get_flat_parameters(model))
+        assert np.allclose(get_flat_parameters(other), get_flat_parameters(model))
+
+
+class TestFlatGradients:
+    def test_none_gradients_become_zeros(self, model):
+        flat = get_flat_gradients(model)
+        assert flat.size == model.num_parameters()
+        assert np.allclose(flat, 0.0)
+
+    def test_roundtrip_after_backward(self, model):
+        model(Tensor(np.ones((2, 3)))).sum().backward()
+        flat = get_flat_gradients(model)
+        assert not np.allclose(flat, 0.0)
+        set_flat_gradients(model, np.ones_like(flat))
+        assert np.allclose(get_flat_gradients(model), 1.0)
+
+    def test_set_then_get_is_identity(self, model):
+        vector = np.random.default_rng(2).normal(size=model.num_parameters())
+        set_flat_gradients(model, vector)
+        assert np.allclose(get_flat_gradients(model), vector)

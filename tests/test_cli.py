@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explode"])
+
+
+class TestListCommand:
+    def test_lists_building_blocks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for expected in ["multi-krum", "bulyan", "little-is-enough", "resnet50", "msmw"]:
+            assert expected in out
+
+
+class TestThroughputCommand:
+    def test_prints_all_deployments(self, capsys):
+        assert main(["throughput", "--model", "cifarnet", "--device", "cpu"]) == 0
+        out = capsys.readouterr().out
+        for deployment in ["vanilla", "ssmw", "msmw", "decentralized"]:
+            assert deployment in out
+        assert "slowdown" in out
+
+    def test_gpu_profile(self, capsys):
+        assert main(["throughput", "--model", "resnet50", "--device", "gpu"]) == 0
+        assert "10 workers / 3 servers" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_small_run_prints_summary(self, capsys):
+        code = main(
+            [
+                "run",
+                "--deployment", "ssmw",
+                "--workers", "5",
+                "--byzantine-workers", "1",
+                "--attacking-workers", "1",
+                "--attack", "reversed",
+                "--gar", "multi-krum",
+                "--dataset-size", "150",
+                "--batch-size", "8",
+                "--iterations", "4",
+                "--accuracy-every", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ssmw: final accuracy" in out
+        assert "per-iteration time" in out
+
+    def test_run_writes_json_output(self, tmp_path, capsys):
+        output = tmp_path / "result.json"
+        code = main(
+            [
+                "run",
+                "--deployment", "vanilla",
+                "--workers", "4",
+                "--dataset-size", "120",
+                "--batch-size", "8",
+                "--iterations", "3",
+                "--accuracy-every", "3",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        data = json.loads(output.read_text())
+        assert data["config"]["deployment"] == "vanilla"
+        assert data["iterations"] == 3
+
+    def test_invalid_configuration_surfaces_library_error(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(
+                [
+                    "run",
+                    "--deployment", "ssmw",
+                    "--workers", "4",
+                    "--byzantine-workers", "4",
+                    "--iterations", "2",
+                ]
+            )
