@@ -1,0 +1,27 @@
+# Developer entry points for the GARFIELD reproduction.
+#
+#   make test        — tier-1 test suite (what CI gates on)
+#   make bench-smoke — the async fastest-q speedup benchmark (~10 s)
+#   make bench       — the full figure-reproduction benchmark suite (minutes)
+#   make docs-check  — validate README/docs links and path references
+#   make quickstart  — run the Listing 1 end-to-end example
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench docs-check quickstart
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) benchmarks/bench_async_speedup.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s
+
+docs-check:
+	$(PYTHON) scripts/check_docs.py
+
+quickstart:
+	$(PYTHON) examples/quickstart.py

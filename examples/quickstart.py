@@ -28,6 +28,7 @@ def main() -> None:
         learning_rate=0.2,
         num_iterations=50,
         accuracy_every=10,
+        executor="threaded",          # service the worker RPCs concurrently
         seed=1,
     )
 

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Lightweight documentation checker.
+
+Validates that the documentation surface stays truthful as the code moves:
+
+* every relative markdown link in ``README.md`` and ``docs/*.md`` resolves to
+  an existing file or directory;
+* every backtick-quoted repository path (``src/repro/...``, ``benchmarks/...``,
+  ``tests/...``, ``examples/...``, ``docs/...``, ``scripts/...``) exists;
+* every ``repro.<module>`` dotted reference in the docs imports to a real
+  module file under ``src/``;
+* the documents are non-empty and start with a top-level heading.
+
+Run directly (``python scripts/check_docs.py``) or via ``make docs-check``;
+the tier-1 suite also runs it through ``tests/test_docs.py``.  Exits non-zero
+with one line per problem.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Documents that make up the documentation surface.
+DOCUMENTS = ("README.md", "docs/architecture.md", "docs/benchmarks.md")
+
+#: Top-level directories a backtick path may point into (plus lone files).
+PATH_PREFIXES = ("src/", "benchmarks/", "tests/", "examples/", "docs/", "scripts/")
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#\s]+)[^)]*\)")
+BACKTICK_RE = re.compile(r"`([^`\n]+)`")
+MODULE_RE = re.compile(r"^repro(\.[A-Za-z_][A-Za-z0-9_]*)+$")
+
+
+def iter_documents() -> Iterator[Tuple[str, str]]:
+    for name in DOCUMENTS:
+        path = REPO_ROOT / name
+        if not path.is_file():
+            yield name, ""
+        else:
+            yield name, path.read_text(encoding="utf-8")
+
+
+def check_links(doc: str, text: str) -> List[str]:
+    problems = []
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        resolved = (REPO_ROOT / doc).parent / target
+        if not resolved.exists():
+            problems.append(f"{doc}: broken link target '{target}'")
+    return problems
+
+
+def looks_like_repo_path(token: str) -> bool:
+    if any(ch in token for ch in " ()<>*|,="):
+        return False
+    return token.startswith(PATH_PREFIXES) or token in ("Makefile", "setup.py")
+
+
+def check_backtick_paths(doc: str, text: str) -> List[str]:
+    problems = []
+    for token in BACKTICK_RE.findall(text):
+        token = token.rstrip("/")
+        if looks_like_repo_path(token) and not (REPO_ROOT / token).exists():
+            problems.append(f"{doc}: referenced path '{token}' does not exist")
+    return problems
+
+
+def resolves_to_module(parts: List[str]) -> bool:
+    base = REPO_ROOT / "src" / Path(*parts)
+    return base.with_suffix(".py").is_file() or (base / "__init__.py").is_file()
+
+
+def check_module_references(doc: str, text: str) -> List[str]:
+    problems = []
+    for token in set(BACKTICK_RE.findall(text)):
+        if not MODULE_RE.match(token):
+            continue
+        parts = token.split(".")
+        # Accept `repro.pkg.module` as well as attribute references like
+        # `repro.pkg.module.ClassName` — some prefix of at least two
+        # components must resolve to a real module.
+        if not any(resolves_to_module(parts[:cut]) for cut in range(len(parts), 1, -1)):
+            problems.append(f"{doc}: dotted reference '{token}' is not a repro module")
+    return problems
+
+
+def check_structure(doc: str, text: str) -> List[str]:
+    if not text.strip():
+        return [f"{doc}: missing or empty"]
+    if not text.lstrip().startswith("# "):
+        return [f"{doc}: should start with a top-level '# ' heading"]
+    return []
+
+
+def main() -> int:
+    problems: List[str] = []
+    for doc, text in iter_documents():
+        problems.extend(check_structure(doc, text))
+        if not text:
+            continue
+        problems.extend(check_links(doc, text))
+        problems.extend(check_backtick_paths(doc, text))
+        problems.extend(check_module_references(doc, text))
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"docs-check: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs-check: {len(DOCUMENTS)} documents OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

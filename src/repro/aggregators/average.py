@@ -11,10 +11,11 @@ from repro.aggregators.base import GAR, register_gar
 class Average(GAR):
     """Coordinate-wise mean of the inputs.
 
-    This is what vanilla TensorFlow / PyTorch parameter servers do.  A single
-    Byzantine input can move the average arbitrarily far, so it tolerates
-    ``f = 0`` only; constructing it with ``f > 0`` is allowed (the paper's
-    baselines do so to keep call sites uniform) but offers no protection.
+    Byzantine tolerance: **none** (``f = 0``).  This is what vanilla
+    TensorFlow / PyTorch parameter servers do; a single Byzantine input can
+    move the average arbitrarily far.  Constructing it with ``f > 0`` is
+    allowed (the paper's baselines do so to keep call sites uniform) but
+    offers no protection.
     """
 
     name = "average"

@@ -1,8 +1,21 @@
-"""Common interface, registry and validation for gradient aggregation rules."""
+"""Common interface, registry and validation for gradient aggregation rules.
+
+Besides the :class:`GAR` base class and its registry, this module hosts the
+shared pairwise-distance machinery used by the distance-based rules (Krum,
+Multi-Krum, MDA, Bulyan).  Computing the (q, q) squared-distance matrix is
+the O(q^2 d) hot kernel of those rules; :data:`DISTANCE_CACHE` memoizes it
+per input matrix so that within one training round — where the same gradient
+matrix is typically scored several times (Multi-Krum selection, Bulyan's
+iterated inner Krum, the functional ``gar(gradients=..., f=...)`` re-check
+path) — the distances are computed exactly once.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Type
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -133,3 +146,82 @@ def pairwise_squared_distances(matrix: np.ndarray) -> np.ndarray:
     squared = norms[:, None] + norms[None, :] - 2.0 * matrix @ matrix.T
     np.maximum(squared, 0.0, out=squared)
     return squared
+
+
+class PairwiseDistanceCache:
+    """Small LRU cache of pairwise squared-distance matrices.
+
+    Entries are keyed by a content fingerprint of the input matrix (shape
+    plus a BLAKE2b digest of its bytes), so the cache is correct even when
+    callers pass freshly allocated arrays with identical contents — which is
+    exactly what happens when several GARs score the same round's gradients.
+    Hashing costs O(q d); a hit saves the O(q^2 d) distance computation.
+
+    Cached matrices have an exact-zero diagonal and are marked read-only:
+    consumers that used to mutate the matrix (e.g. Krum's fill-diagonal
+    trick) must work on the shared copy without writing to it.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _fingerprint(matrix: np.ndarray) -> Tuple:
+        # blake2b consumes the array's buffer directly (no tobytes() copy);
+        # ascontiguousarray is a no-op for the already-C-contiguous matrices
+        # produced by as_matrix.
+        data = np.ascontiguousarray(matrix)
+        digest = hashlib.blake2b(data, digest_size=16).digest()
+        return (matrix.shape, matrix.dtype.str, digest)
+
+    def squared_distances(self, matrix: np.ndarray) -> np.ndarray:
+        """Cached (q, q) squared-distance matrix with an exact-zero diagonal."""
+        key = self._fingerprint(matrix)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return cached
+        distances = pairwise_squared_distances(matrix)
+        np.fill_diagonal(distances, 0.0)
+        distances.setflags(write=False)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = distances
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return distances
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PairwiseDistanceCache(maxsize={self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+#: Process-wide cache shared by all distance-based GARs.  One training round
+#: aggregates a handful of distinct matrices at most, so a few entries go a
+#: long way; the LRU bound keeps memory at O(maxsize * q^2).
+DISTANCE_CACHE = PairwiseDistanceCache(maxsize=8)
+
+
+def shared_squared_distances(matrix: np.ndarray) -> np.ndarray:
+    """Squared-distance matrix of ``matrix`` through the shared round cache.
+
+    The returned array is read-only and has an exact-zero diagonal; index it
+    (``distances[np.ix_(rows, rows)]``) rather than mutating it.
+    """
+    return DISTANCE_CACHE.squared_distances(matrix)

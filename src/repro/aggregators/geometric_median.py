@@ -16,7 +16,12 @@ from repro.aggregators.base import GAR, register_gar
 
 @register_gar
 class GeometricMedian(GAR):
-    """Smoothed Weiszfeld algorithm for the geometric median."""
+    """Smoothed Weiszfeld algorithm for the geometric median.
+
+    Byzantine tolerance: withstands up to ``f`` malicious inputs provided
+    ``n >= 2f + 1`` (honest majority), since the geometric median's breakdown
+    point is 1/2.
+    """
 
     name = "geometric-median"
 
@@ -42,3 +47,9 @@ class GeometricMedian(GAR):
 
     def flops(self, d: int) -> float:
         return float(self.iterations * self.n * d)
+
+    def __repr__(self) -> str:
+        return (
+            f"GeometricMedian(n={self.n}, f={self.f}, "
+            f"iterations={self.iterations}, smoothing={self.smoothing})"
+        )

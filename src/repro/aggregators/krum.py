@@ -11,24 +11,42 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.aggregators.base import GAR, pairwise_squared_distances, register_gar
+from repro.aggregators.base import GAR, register_gar, shared_squared_distances
 
 
-def krum_scores(matrix: np.ndarray, f: int) -> np.ndarray:
-    """Krum score of each row: sum of squared distances to its closest neighbours."""
-    q = matrix.shape[0]
+def krum_scores_from_distances(distances: np.ndarray, f: int) -> np.ndarray:
+    """Krum scores given a precomputed (q, q) squared-distance matrix.
+
+    ``distances`` must have an exact-zero diagonal (as produced by
+    :func:`repro.aggregators.base.shared_squared_distances`); each row's
+    self-distance is skipped by dropping the first entry of the sorted row,
+    so the shared read-only matrix is never mutated.  Accepting distances
+    directly lets Bulyan score sub-committees by slicing one cached matrix
+    instead of recomputing O(q^2 d) products per committee round.
+    """
+    q = distances.shape[0]
     closest = q - f - 2
     if closest < 1:
         closest = 1
-    distances = pairwise_squared_distances(matrix)
-    np.fill_diagonal(distances, np.inf)
     sorted_distances = np.sort(distances, axis=1)
-    return sorted_distances[:, :closest].sum(axis=1)
+    return sorted_distances[:, 1 : closest + 1].sum(axis=1)
+
+
+def krum_scores(matrix: np.ndarray, f: int, distances: np.ndarray | None = None) -> np.ndarray:
+    """Krum score of each row: sum of squared distances to its closest neighbours."""
+    if distances is None:
+        distances = shared_squared_distances(matrix)
+    return krum_scores_from_distances(distances, f)
 
 
 @register_gar
 class Krum(GAR):
-    """Return the single input vector with the smallest Krum score."""
+    """Return the single input vector with the smallest Krum score.
+
+    Byzantine tolerance: withstands up to ``f`` malicious inputs provided
+    ``n >= 2f + 3`` (the Blanchard et al. condition), under the variance
+    bound checked by :mod:`repro.aggregators.variance`.
+    """
 
     name = "krum"
 
@@ -46,7 +64,12 @@ class Krum(GAR):
 
 @register_gar
 class MultiKrum(GAR):
-    """Average of the ``m`` smallest-scoring inputs (defaults to ``n - f``)."""
+    """Average of the ``m`` smallest-scoring inputs (defaults to ``n - f``).
+
+    Byzantine tolerance: same precondition as Krum — up to ``f`` malicious
+    inputs when ``n >= 2f + 3``; averaging the best ``m`` improves the
+    convergence rate when most inputs are honest.
+    """
 
     name = "multi-krum"
 
@@ -72,3 +95,6 @@ class MultiKrum(GAR):
 
     def flops(self, d: int) -> float:
         return float(self.n ** 2 * d)
+
+    def __repr__(self) -> str:
+        return f"MultiKrum(n={self.n}, f={self.f}, m={self.m})"

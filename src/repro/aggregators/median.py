@@ -16,7 +16,11 @@ from repro.aggregators.base import GAR, register_gar
 
 @register_gar
 class Median(GAR):
-    """Coordinate-wise median of the input vectors."""
+    """Coordinate-wise median of the input vectors.
+
+    Byzantine tolerance: withstands up to ``f`` malicious inputs provided
+    ``n >= 2f + 1`` — an honest majority per coordinate.
+    """
 
     name = "median"
 

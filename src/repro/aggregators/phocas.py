@@ -15,7 +15,12 @@ from repro.aggregators.base import GAR, register_gar
 
 @register_gar
 class MeaMed(GAR):
-    """Mean-around-median aggregation (a.k.a. MeaMed, used by Phocas)."""
+    """Mean-around-median aggregation (a.k.a. MeaMed, used by Phocas).
+
+    Byzantine tolerance: withstands up to ``f`` malicious inputs provided
+    ``n >= 2f + 1``; the ``n - f`` values kept per coordinate then contain an
+    honest majority anchored at the coordinate-wise median.
+    """
 
     name = "meamed"
 

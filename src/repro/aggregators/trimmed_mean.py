@@ -15,7 +15,12 @@ from repro.aggregators.base import GAR, register_gar
 
 @register_gar
 class TrimmedMean(GAR):
-    """Coordinate-wise mean after discarding the f extremes on each side."""
+    """Coordinate-wise mean after discarding the f extremes on each side.
+
+    Byzantine tolerance: withstands up to ``f`` malicious inputs provided
+    ``n >= 2f + 1``, so at least one honest value survives the trimming on
+    every coordinate.
+    """
 
     name = "trimmed-mean"
 

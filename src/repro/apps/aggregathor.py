@@ -12,6 +12,10 @@ model reflects that through the ``shared_graph`` flag used by
 Figure 4a (AggregaThor plateauing slightly below Garfield) came from the
 older TensorFlow version it is pinned to, which we model as a small
 learning-rate handicap.
+
+Byzantine tolerance: up to ``f_w`` Byzantine workers under Multi-Krum's
+``n_w >= 2 f_w + 3`` precondition; the single server is trusted
+(``f_ps = 0``) and cannot be replicated in this architecture.
 """
 
 from __future__ import annotations

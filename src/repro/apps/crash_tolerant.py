@@ -7,6 +7,11 @@ workers only fetch the model from the current primary.  When the primary
 crashes (detected by a timeout, here by the transport raising
 ``NodeCrashedError``), the next replica becomes primary and re-broadcasts its
 (possibly slightly outdated) model — learning still converges eventually.
+
+Failure tolerance: up to ``n_ps - 1`` *crash* failures of server replicas,
+but **zero** Byzantine tolerance — gradients are plainly averaged
+(``f_w = 0``) and replicas are trusted, which is exactly the gap between
+this strawman and MSMW.
 """
 
 from __future__ import annotations

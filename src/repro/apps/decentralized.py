@@ -5,6 +5,13 @@ keeps its data local and exchanges gradients and models with all other nodes.
 When the data is not identically distributed, an extra multi-round *contract*
 step re-aggregates the nodes' aggregated gradients so the model states on
 correct machines are pulled towards each other.
+
+Byzantine tolerance: up to ``f_w`` Byzantine *nodes* out of ``n_w`` — each
+node plays both roles, so the same bound applies to the gradient and the
+model exchange; the quorums are fixed at ``n_w - f_w`` gradients and
+``n_w - f_w - 1`` peer models (Listing 3), and the configured GARs must
+accept those input counts (e.g. Median's ``>= 2 f + 1``).  All three
+communication phases fan out through the execution engine.
 """
 
 from __future__ import annotations

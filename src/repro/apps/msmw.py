@@ -13,6 +13,13 @@ replica performs, per iteration:
 Byzantine replicas serve corrupted models but are never trusted with the
 reporting of metrics; as in the paper, accuracy and throughput are reported
 from the (fastest) correct replica.
+
+Byzantine tolerance: up to ``f_w`` Byzantine workers (gradient GAR
+precondition, e.g. ``n_w >= 2 f_w + 3`` for Multi-Krum) *and* up to ``f_ps``
+Byzantine servers, requiring the model GAR's precondition over the
+``model_quorum + 1`` aggregated models (e.g. ``>= 2 f_ps + 1`` for Median);
+liveness in asynchronous runs additionally needs ``q + f`` deployed nodes
+per pull.  Both communication rounds fan out through the execution engine.
 """
 
 from __future__ import annotations

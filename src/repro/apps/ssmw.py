@@ -4,6 +4,14 @@ The classic Byzantine-worker setup: one trusted parameter server replaces the
 averaging step with a statistically robust GAR.  The network is assumed
 synchronous, so the server waits for all ``n_w`` workers by default; the
 asynchronous flag lowers the quorum to ``n_w - f_w``.
+
+Byzantine tolerance: up to ``f_w`` Byzantine *workers*, bounded by the
+configured gradient GAR's precondition (e.g. ``n_w >= 2 f_w + 3`` for
+Multi-Krum); the single parameter server is trusted (``f_ps = 0``).  Each
+``get_gradients`` fan-out runs on the deployment's execution engine, so with
+the threaded executor the workers are serviced concurrently and a straggler
+delays the round by at most its own service time instead of serializing
+behind every other worker.
 """
 
 from __future__ import annotations

@@ -3,6 +3,9 @@
 One trusted server, plain averaging of all workers' gradients, synchronous
 collection.  This is what an unmodified TensorFlow / PyTorch deployment does
 and it fails under any Byzantine behaviour — which Figure 5 demonstrates.
+
+Byzantine tolerance: **none** (``f_w = f_ps = 0``); a single malicious
+worker controls the average.
 """
 
 from __future__ import annotations

@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence
 from repro.aggregators import available_gars
 from repro.attacks import available_attacks
 from repro.core.cluster import ClusterConfig
+from repro.core.executor import available_executors
 from repro.core.controller import Controller
 from repro.network.topology import DEPLOYMENTS
 from repro.nn.models import MODEL_REGISTRY, PAPER_MODEL_DIMENSIONS
@@ -69,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--iterations", type=int, default=30)
     run_parser.add_argument("--accuracy-every", type=int, default=10)
     run_parser.add_argument("--seed", type=int, default=1)
+    run_parser.add_argument(
+        "--executor",
+        choices=available_executors(),
+        default="serial",
+        help="engine servicing RPC fan-outs (threaded = concurrent peers)",
+    )
     run_parser.add_argument("--asynchronous", action="store_true")
     run_parser.add_argument("--non-iid", action="store_true")
     run_parser.add_argument("--output", help="write the TrainingResult to this JSON file")
@@ -121,6 +128,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         accuracy_every=args.accuracy_every,
         asynchronous=args.asynchronous,
         non_iid=args.non_iid,
+        executor=args.executor,
         seed=args.seed,
     )
     result = Controller(config).run()

@@ -11,12 +11,21 @@ This package mirrors the component diagram of Figure 1 in the paper:
 * :mod:`repro.core.cluster` / :mod:`repro.core.controller` — cluster
   definition, parameter parsing and deployment construction.
 * :mod:`repro.core.experiment` — the model / dataset registry.
+* :mod:`repro.core.executor` — the execution engines (serial / threaded)
+  that fan out ``get_gradients`` / ``get_models`` RPCs concurrently.
 * :mod:`repro.core.metrics` — accuracy, throughput, latency breakdown and the
   parameter-vector alignment measurements of Table 2.
 """
 
 from repro.core.cluster import ClusterConfig
 from repro.core.controller import Controller, Deployment
+from repro.core.executor import (
+    Executor,
+    SerialExecutor,
+    ThreadedExecutor,
+    available_executors,
+    create_executor,
+)
 from repro.core.experiment import Experiment
 from repro.core.metrics import (
     AlignmentProbe,
@@ -38,6 +47,11 @@ __all__ = [
     "ClusterConfig",
     "Controller",
     "Deployment",
+    "Executor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "available_executors",
+    "create_executor",
     "Experiment",
     "MetricsLog",
     "IterationRecord",

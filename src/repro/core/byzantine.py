@@ -8,6 +8,7 @@ experimenting with Byzantine behavior ...").
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Union
 
 import numpy as np
@@ -32,10 +33,14 @@ class ByzantineWorker(Worker):
         self.attack = _resolve_attack(attack, attack_seed)
 
     def _serve_gradient(self, context: RequestContext) -> Optional[np.ndarray]:
-        honest = super()._serve_gradient(context)
-        if honest is None:  # pragma: no cover - defensive, workers always reply
-            return None
-        return self.attack(honest)
+        # Hold the (re-entrant) serve lock across the attack as well: the
+        # attack's RNG is shared state, and concurrent fan-outs from several
+        # replicas must consume it in a consistent order.
+        with self._serve_lock:
+            honest = super()._serve_gradient(context)
+            if honest is None:  # pragma: no cover - defensive, workers always reply
+                return None
+            return self.attack(honest)
 
 
 class ByzantineServer(Server):
@@ -49,13 +54,19 @@ class ByzantineServer(Server):
     def __init__(self, *args, attack: Union[str, Attack] = "random", attack_seed: int = 11, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.attack = _resolve_attack(attack, attack_seed)
+        # Same rationale as Worker._serve_lock: handlers run on executor pool
+        # threads, and the attack's RNG is shared state that concurrent
+        # fan-outs from several peers must consume in a consistent order.
+        self._serve_lock = threading.RLock()
 
     def _serve_model(self, context: RequestContext) -> Optional[np.ndarray]:
-        honest = super()._serve_model(context)
-        return self.attack(honest)
+        with self._serve_lock:
+            honest = super()._serve_model(context)
+            return self.attack(honest)
 
     def _serve_aggregated_gradient(self, context: RequestContext) -> Optional[np.ndarray]:
-        honest = super()._serve_aggregated_gradient(context)
-        if honest is None:
-            return None
-        return self.attack(honest)
+        with self._serve_lock:
+            honest = super()._serve_aggregated_gradient(context)
+            if honest is None:
+                return None
+            return self.attack(honest)

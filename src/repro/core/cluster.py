@@ -14,6 +14,7 @@ from dataclasses import asdict, dataclass, field, fields
 from typing import Dict
 
 from repro.aggregators.base import GAR_REGISTRY
+from repro.core.executor import EXECUTOR_REGISTRY
 from repro.exceptions import ConfigurationError
 from repro.network.cost import DEVICES, FRAMEWORKS
 from repro.network.topology import DEPLOYMENTS
@@ -51,6 +52,13 @@ class ClusterConfig:
     # Infrastructure.
     device: str = "cpu"
     framework: str = "tensorflow"
+    #: Execution engine used to fan out worker/replica RPCs: ``"serial"``
+    #: (deterministic, in-order — the default, used by tests) or
+    #: ``"threaded"`` (concurrent service of independent peers; still
+    #: deterministic because all randomness is pre-sampled by the transport).
+    executor: str = "serial"
+    #: Thread count for the threaded executor; 0 picks an automatic size.
+    executor_workers: int = 0
     asynchronous: bool = False
     non_iid: bool = False
     dirichlet_alpha: float = 0.5
@@ -94,6 +102,12 @@ class ClusterConfig:
             raise ConfigurationError(
                 f"unknown framework '{self.framework}'; choose from {sorted(FRAMEWORKS)}"
             )
+        if self.executor not in EXECUTOR_REGISTRY:
+            raise ConfigurationError(
+                f"unknown executor '{self.executor}'; choose from {sorted(EXECUTOR_REGISTRY)}"
+            )
+        if self.executor_workers < 0:
+            raise ConfigurationError("executor_workers must be non-negative")
         if self.gradient_gar not in GAR_REGISTRY:
             raise ConfigurationError(f"unknown gradient GAR '{self.gradient_gar}'")
         if self.model_gar not in GAR_REGISTRY:

@@ -18,6 +18,7 @@ import numpy as np
 from repro.aggregators.base import GAR, init as init_gar
 from repro.core.byzantine import ByzantineServer, ByzantineWorker
 from repro.core.cluster import ClusterConfig
+from repro.core.executor import Executor, create_executor
 from repro.core.experiment import Experiment
 from repro.core.metrics import AlignmentProbe, MetricsLog
 from repro.core.server import Server
@@ -45,6 +46,15 @@ class Deployment:
     cost_model: CostModel
     metrics: MetricsLog
     alignment: AlignmentProbe = field(default_factory=lambda: AlignmentProbe(every=20))
+
+    @property
+    def executor(self) -> Executor:
+        """The execution engine servicing this deployment's RPC fan-outs.
+
+        Derived from the transport (the single owner of the engine) so the
+        two can never diverge, e.g. after ``transport.use_executor(...)``.
+        """
+        return self.transport.executor
 
     @property
     def honest_servers(self) -> List[Server]:
@@ -140,7 +150,8 @@ class Controller:
         )
 
         failures = FailureInjector(seed=config.seed)
-        transport = Transport(failures=failures, seed=config.seed)
+        executor = create_executor(config.executor, max_workers=config.executor_workers or None)
+        transport = Transport(failures=failures, seed=config.seed, executor=executor)
         for node_id, factor in config.straggler_factors.items():
             failures.set_straggler(node_id, factor)
 
@@ -259,7 +270,12 @@ class Controller:
         from repro.apps import run_application  # imported lazily to avoid a cycle
 
         deployment = deployment or self.build()
-        run_application(deployment)
+        try:
+            run_application(deployment)
+        finally:
+            # Release pool threads; the executor lazily re-creates them if the
+            # deployment is driven again.
+            deployment.executor.shutdown()
         return self.collect_result(deployment)
 
     # ------------------------------------------------------------------ #

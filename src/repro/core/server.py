@@ -8,6 +8,12 @@ pair of abstractions from Section 3.2:
 * ``get_models(q)`` — pull model states from the other server replicas and
   return the fastest ``q``.
 
+Both fan out one RPC per peer through the transport's execution engine
+(:mod:`repro.core.executor`): with the threaded engine the workers are
+serviced concurrently, so the round's wall-clock cost tracks the slowest
+single peer instead of the sum over peers — while the *simulated* elapsed
+time charged to the server is the latency of the ``q``-th fastest reply.
+
 On top of those it exposes ``update_model()``, ``write_model()`` and
 ``compute_accuracy()``, matching Listing 1–3 of the paper.
 """
@@ -76,6 +82,11 @@ class Server(Node):
     # Model state accessors
     # ------------------------------------------------------------------ #
     @property
+    def executor(self):
+        """The execution engine this server's RPC fan-outs run on."""
+        return self.transport.executor
+
+    @property
     def dimension(self) -> int:
         return self.model.num_parameters()
 
@@ -109,7 +120,11 @@ class Server(Node):
 
         ``quorum`` defaults to the total number of workers (synchronous,
         fault-free operation).  The current model state is shipped with the
-        request so workers compute their estimate at the right point.
+        request so workers compute their estimate at the right point.  All
+        worker RPCs are issued concurrently through :attr:`executor`; the
+        reply list is ordered by simulated arrival time, and the elapsed time
+        charged to this server is the latency of the ``quorum``-th fastest
+        reply — never the sum over workers.
         """
         if not self.workers:
             raise ConfigurationError("this server has no workers to pull gradients from")

@@ -7,6 +7,7 @@ on the model state included in the request.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 import numpy as np
@@ -79,6 +80,14 @@ class Worker(Node):
             raise ValueError("momentum must be in [0, 1)")
         self.momentum = momentum
         self._velocity: Optional[np.ndarray] = None
+        # Transport handlers may be dispatched from executor pool threads
+        # (one task per destination of a fan-out).  A single fan-out never
+        # targets the same worker twice, but concurrent fan-outs from several
+        # server replicas can; this lock keeps the mini-batch cursor and the
+        # per-iteration gradient cache consistent in that case.  Re-entrant
+        # so subclasses (ByzantineWorker) can hold it across the honest
+        # computation plus their own stateful post-processing.
+        self._serve_lock = threading.RLock()
         transport.register_handler(node_id, "gradient", self._serve_gradient)
 
     # ------------------------------------------------------------------ #
@@ -112,14 +121,15 @@ class Worker(Node):
         computed for the first request is reused, matching the behaviour of
         workers that broadcast one gradient per step to all replicas.
         """
-        if (
-            self.cache_gradients
-            and context.iteration == self._cached_iteration
-            and self._cached_gradient is not None
-        ):
-            return self._cached_gradient
-        flat_model = np.asarray(context.payload, dtype=np.float64)
-        gradient = self.compute_gradient(flat_model)
-        self._cached_iteration = context.iteration
-        self._cached_gradient = gradient
-        return gradient
+        with self._serve_lock:
+            if (
+                self.cache_gradients
+                and context.iteration == self._cached_iteration
+                and self._cached_gradient is not None
+            ):
+                return self._cached_gradient
+            flat_model = np.asarray(context.payload, dtype=np.float64)
+            gradient = self.compute_gradient(flat_model)
+            self._cached_iteration = context.iteration
+            self._cached_gradient = gradient
+            return gradient

@@ -6,15 +6,29 @@ data from one peer (:meth:`Transport.pull`) or from many peers in parallel
 (:meth:`Transport.pull_many`), receiving the fastest ``quorum`` replies — the
 exact semantics required by ``get_gradients(t, q)`` / ``get_models(q)``.
 
-Latency is simulated, not real: each reply's latency combines a sampled link
-latency, the transfer time implied by the payload size and link bandwidth, and
-per-node straggler factors.  Because the paper parallelizes RPC calls, the
-elapsed time of a parallel pull is the latency of the q-th fastest reply, not
-the sum.
+Two layers of "time" coexist here:
+
+* **Simulated time** — each reply's latency combines a sampled link latency,
+  the transfer time implied by the payload size and link bandwidth, and
+  per-node straggler factors.  Because the paper parallelizes RPC calls, the
+  elapsed time of a parallel pull is the latency of the q-th fastest reply,
+  never the sum.
+* **Wall-clock time** — handler execution (gradient computation on a worker)
+  is real work.  :meth:`pull_many` dispatches every handler invocation
+  through the deployment's :class:`~repro.core.executor.Executor` and drains
+  a completion queue, so with a :class:`~repro.core.executor.ThreadedExecutor`
+  independent peers are serviced concurrently and the round's wall-clock cost
+  tracks the slowest single peer rather than the sum over peers.
+
+Determinism: every random quantity (message drops, latency jitter) is sampled
+*before* work is dispatched, in a fixed per-destination order.  The executor
+only runs the deterministic remainder, so serial and threaded engines yield
+bit-identical replies for a fixed seed.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -43,10 +57,17 @@ class LinkModel:
     bandwidth_bytes_per_s: float = 1.25e9  # 10 Gbps
     bytes_per_element: int = 4
 
+    def sample_jitter(self, rng: np.random.Generator) -> float:
+        """Sample the stochastic component of one reply's latency."""
+        return rng.exponential(self.jitter) if self.jitter > 0 else 0.0
+
+    def latency_from_jitter(self, jitter: float, nbytes: int, factor: float = 1.0) -> float:
+        """Deterministic latency given a pre-sampled ``jitter`` value."""
+        return factor * (self.base_latency + jitter + nbytes / self.bandwidth_bytes_per_s)
+
     def sample_latency(self, rng: np.random.Generator, nbytes: int, factor: float = 1.0) -> float:
         """One-way latency for a message of ``nbytes`` bytes."""
-        jitter = rng.exponential(self.jitter) if self.jitter > 0 else 0.0
-        return factor * (self.base_latency + jitter + nbytes / self.bandwidth_bytes_per_s)
+        return self.latency_from_jitter(self.sample_jitter(rng), nbytes, factor)
 
 
 @dataclass
@@ -73,18 +94,56 @@ class TransportStats:
         self.per_kind_messages.clear()
 
 
+@dataclass
+class _PlannedPull:
+    """One pre-sampled pull, ready to be dispatched to an executor."""
+
+    destination: str
+    handler: Handler
+    jitter: float
+    factor: float
+
+
 class Transport:
-    """In-process pull-based RPC fabric shared by all nodes of a deployment."""
+    """In-process pull-based RPC fabric shared by all nodes of a deployment.
+
+    Parameters
+    ----------
+    executor:
+        The :class:`~repro.core.executor.Executor` used to fan out
+        :meth:`pull_many` handler invocations.  Defaults to the deterministic
+        serial engine; pass a ``ThreadedExecutor`` (or call
+        :meth:`use_executor`) to service peers concurrently.
+    wall_time_scale:
+        When positive, every reply additionally *sleeps* ``latency *
+        wall_time_scale`` real seconds, making wall-clock behaviour mirror the
+        simulated link.  This is how the async benchmarks demonstrate the
+        fastest-q pipeline: with the serial engine the sleeps accumulate, with
+        the threaded engine they overlap.  The default ``0.0`` keeps the
+        simulation purely analytic (no sleeping), which is what tests use.
+    """
 
     def __init__(
         self,
         link: Optional[LinkModel] = None,
         failures: Optional[FailureInjector] = None,
         seed: int = 0,
+        executor: Optional["Executor"] = None,
+        wall_time_scale: float = 0.0,
     ) -> None:
+        # Imported lazily: repro.core.__init__ pulls in modules that import
+        # this one, so a module-level import would be circular.
+        from repro.core.executor import Executor, SerialExecutor
+
+        if executor is not None and not isinstance(executor, Executor):
+            raise CommunicationError("executor must be a repro.core.executor.Executor")
+        if wall_time_scale < 0:
+            raise CommunicationError("wall_time_scale must be non-negative")
         self.link = link or LinkModel()
         self.failures = failures or FailureInjector(seed=seed)
         self.stats = TransportStats()
+        self.executor = executor or SerialExecutor()
+        self.wall_time_scale = wall_time_scale
         self._rng = make_rng(seed)
         self._handlers: Dict[Tuple[str, str], Handler] = {}
         self._nodes: Dict[str, object] = {}
@@ -108,6 +167,20 @@ class Transport:
     def has_handler(self, node_id: str, kind: str) -> bool:
         return (node_id, kind) in self._handlers
 
+    def use_executor(self, executor: "Executor") -> None:
+        """Swap the execution engine used by :meth:`pull_many`.
+
+        The previous engine is shut down so a replaced thread pool does not
+        leak its worker threads.
+        """
+        from repro.core.executor import Executor
+
+        if not isinstance(executor, Executor):
+            raise CommunicationError("executor must be a repro.core.executor.Executor")
+        if executor is not self.executor:
+            self.executor.shutdown()
+        self.executor = executor
+
     # ------------------------------------------------------------------ #
     # Pulls
     # ------------------------------------------------------------------ #
@@ -122,6 +195,62 @@ class Transport:
             return sum(self._payload_nbytes(item) for item in payload)
         return 128
 
+    def _maybe_wall_wait(self, latency: float) -> None:
+        """Sleep the scaled simulated latency when wall fidelity is enabled."""
+        if self.wall_time_scale > 0 and np.isfinite(latency):
+            time.sleep(latency * self.wall_time_scale)
+
+    def _plan(self, destination: str, kind: str) -> Optional[_PlannedPull]:
+        """Account one pull and pre-sample its random quantities, in order.
+
+        Shared by :meth:`pull` and :meth:`pull_many` so both consume the RNG
+        stream identically.  Raises on crashed peers and unknown kinds (the
+        fan-out caller decides whether to skip or propagate); returns ``None``
+        when the message is dropped.
+        """
+        self.stats.pulls_issued += 1
+        if self.failures.is_crashed(destination):
+            raise NodeCrashedError(f"node '{destination}' has crashed")
+        handler = self._handlers.get((destination, kind))
+        if handler is None:
+            raise CommunicationError(f"node '{destination}' serves no '{kind}' requests")
+        if self.failures.should_drop():
+            return None
+        return _PlannedPull(
+            destination=destination,
+            handler=handler,
+            jitter=self.link.sample_jitter(self._rng),
+            factor=self.failures.latency_factor(destination),
+        )
+
+    def _serve(
+        self,
+        planned: _PlannedPull,
+        source: str,
+        kind: str,
+        iteration: int,
+        payload: Any,
+    ) -> Reply:
+        """Invoke one handler and assemble its reply (executor task body).
+
+        Everything stochastic (``jitter``, ``factor``, drop decisions) was
+        sampled before dispatch, so this function is deterministic and safe to
+        run concurrently with other destinations' handlers.
+        """
+        context = RequestContext(requester=source, iteration=iteration, payload=payload)
+        response = planned.handler(context)
+        nbytes = self._payload_nbytes(response)
+        latency = self.link.latency_from_jitter(planned.jitter, nbytes, planned.factor)
+        self._maybe_wall_wait(latency)
+        return Reply(
+            source=planned.destination,
+            kind=kind,
+            iteration=iteration,
+            payload=response,
+            latency=latency,
+            nbytes=nbytes,
+        )
+
     def pull(
         self,
         source: str,
@@ -131,29 +260,11 @@ class Transport:
         payload: Any = None,
     ) -> Reply:
         """Pull ``kind`` data from ``destination`` on behalf of ``source``."""
-        self.stats.pulls_issued += 1
-        if self.failures.is_crashed(destination):
-            raise NodeCrashedError(f"node '{destination}' has crashed")
-        handler = self._handlers.get((destination, kind))
-        if handler is None:
-            raise CommunicationError(f"node '{destination}' serves no '{kind}' requests")
-        if self.failures.should_drop():
+        planned = self._plan(destination, kind)
+        if planned is None:  # dropped in transit
             return Reply(source=destination, kind=kind, iteration=iteration, payload=None, latency=np.inf)
-
-        context = RequestContext(requester=source, iteration=iteration, payload=payload)
-        response = handler(context)
-        nbytes = self._payload_nbytes(response)
-        factor = self.failures.latency_factor(destination)
-        latency = self.link.sample_latency(self._rng, nbytes, factor)
-        reply = Reply(
-            source=destination,
-            kind=kind,
-            iteration=iteration,
-            payload=response,
-            latency=latency,
-            nbytes=nbytes,
-        )
-        self.stats.record(kind, nbytes, latency)
+        reply = self._serve(planned, source, kind, iteration, payload)
+        self.stats.record(kind, reply.nbytes, reply.latency)
         return reply
 
     def pull_many(
@@ -165,7 +276,20 @@ class Transport:
         iteration: int = 0,
         payload: Any = None,
     ) -> Tuple[List[Reply], float]:
-        """Pull from all ``destinations`` in parallel; return the fastest ``quorum`` replies.
+        """Pull from all ``destinations`` concurrently; return the fastest ``quorum`` replies.
+
+        The call proceeds in three phases:
+
+        1. *Plan* (serial, deterministic) — per destination, in order: account
+           the pull, skip crashed peers, resolve the handler, sample the drop
+           decision and the latency jitter.  This is the only phase that
+           touches shared randomness.
+        2. *Dispatch* — every surviving handler invocation is submitted to the
+           transport's executor; replies are drained from its completion
+           queue, so with a threaded engine peers are serviced concurrently.
+        3. *Select* — replies are re-ordered by destination for stable
+           accounting, then the fastest ``quorum`` by simulated latency are
+           returned.
 
         Returns ``(replies, elapsed)`` where ``elapsed`` is the simulated time
         until the quorum-th reply arrived (calls are parallelized, so slower
@@ -181,12 +305,35 @@ class Transport:
             raise CommunicationError(
                 f"quorum {quorum} exceeds the number of destinations {len(destinations)}"
             )
-        replies: List[Reply] = []
+
+        # Phase 1 — plan: consume shared randomness in deterministic order.
+        # Crashed peers are skipped (they simply never reply); dropped
+        # messages are planned away before any work is dispatched.
+        planned: List[_PlannedPull] = []
         for destination in destinations:
             try:
-                reply = self.pull(source, destination, kind, iteration=iteration, payload=payload)
+                plan = self._plan(destination, kind)
             except NodeCrashedError:
                 continue
+            if plan is not None:
+                planned.append(plan)
+
+        # Phase 2 — dispatch all handler invocations through the executor and
+        # drain its completion queue.
+        tasks = [
+            (lambda p=plan: self._serve(p, source, kind, iteration, payload))
+            for plan in planned
+        ]
+        collected: List[Optional[Reply]] = [None] * len(tasks)
+        for index, reply in self.executor.map_unordered(tasks):
+            collected[index] = reply
+
+        # Phase 3 — account in destination order (stable regardless of the
+        # engine), then select the fastest quorum by simulated latency.
+        replies: List[Reply] = []
+        for reply in collected:
+            assert reply is not None
+            self.stats.record(reply.kind, reply.nbytes, reply.latency)
             if not reply.is_silent and np.isfinite(reply.latency):
                 replies.append(reply)
         if len(replies) < quorum:

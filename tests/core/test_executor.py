@@ -1,0 +1,312 @@
+"""Tests for the execution engines and the fastest-q collection semantics.
+
+Covers the determinism contract of :mod:`repro.core.executor` (serial and
+threaded engines produce identical results for a fixed seed) and the
+``get_gradients(t, q)`` quorum semantics under stragglers and crashes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterConfig, Controller
+from repro.core.executor import (
+    EXECUTOR_REGISTRY,
+    Executor,
+    SerialExecutor,
+    ThreadedExecutor,
+    available_executors,
+    create_executor,
+)
+from repro.exceptions import CommunicationError, ConfigurationError, TimeoutError
+from repro.network.failures import FailureInjector
+from repro.network.transport import LinkModel, Transport
+
+
+def build_transport(num_nodes=9, seed=0, executor=None, dimension=16):
+    transport = Transport(
+        link=LinkModel(base_latency=1e-3, jitter=2e-4),
+        failures=FailureInjector(seed=seed),
+        seed=seed,
+        executor=executor,
+    )
+    for index in range(num_nodes):
+        node_id = f"node-{index}"
+        transport.register_node(node_id, object())
+        transport.register_handler(
+            node_id, "gradient", lambda ctx, i=index: np.full(dimension, float(i))
+        )
+    return transport
+
+
+class TestExecutorEngines:
+    def test_registry_contains_both_engines(self):
+        assert available_executors() == ["serial", "threaded"]
+        assert EXECUTOR_REGISTRY["serial"] is SerialExecutor
+        assert EXECUTOR_REGISTRY["threaded"] is ThreadedExecutor
+
+    def test_create_executor_by_name(self):
+        assert isinstance(create_executor("serial"), SerialExecutor)
+        threaded = create_executor("threaded", max_workers=4)
+        assert isinstance(threaded, ThreadedExecutor)
+        assert threaded.max_workers == 4
+        threaded.shutdown()
+
+    def test_create_executor_unknown_name(self):
+        with pytest.raises(ValueError):
+            create_executor("fibers")
+
+    def test_serial_runs_in_submission_order(self):
+        order = []
+
+        def make(i):
+            def task():
+                order.append(i)
+                return i * 10
+
+            return task
+
+        executor = SerialExecutor()
+        completions = list(executor.map_unordered([make(i) for i in range(5)]))
+        assert order == [0, 1, 2, 3, 4]
+        assert completions == [(i, i * 10) for i in range(5)]
+
+    def test_run_all_returns_submission_order(self):
+        with ThreadedExecutor(max_workers=4) as executor:
+            results = executor.run_all([lambda i=i: i * i for i in range(8)])
+        assert results == [i * i for i in range(8)]
+
+    def test_threaded_tasks_overlap(self):
+        """Four 50 ms sleeps through the pool take far less than 200 ms."""
+        with ThreadedExecutor(max_workers=4) as executor:
+            start = time.perf_counter()
+            executor.run_all([lambda: time.sleep(0.05) for _ in range(4)])
+            elapsed = time.perf_counter() - start
+        assert elapsed < 0.15
+
+    def test_threaded_runs_off_main_thread(self):
+        with ThreadedExecutor(max_workers=2) as executor:
+            [thread_name] = executor.run_all([lambda: threading.current_thread().name])
+        assert thread_name != threading.main_thread().name
+
+    def test_threaded_propagates_exceptions(self):
+        def boom():
+            raise RuntimeError("task failed")
+
+        with ThreadedExecutor(max_workers=2) as executor:
+            with pytest.raises(RuntimeError, match="task failed"):
+                executor.run_all([boom])
+
+    def test_threaded_drains_inflight_tasks_on_error(self):
+        """After a task error propagates, no background task is still running."""
+        finished = []
+
+        def slow(i):
+            def task():
+                time.sleep(0.05)
+                finished.append(i)
+                return i
+
+            return task
+
+        def boom():
+            raise RuntimeError("fail fast")
+
+        with ThreadedExecutor(max_workers=4) as executor:
+            with pytest.raises(RuntimeError, match="fail fast"):
+                executor.run_all([boom, slow(1), slow(2), slow(3)])
+            snapshot = sorted(finished)
+            time.sleep(0.1)
+            # Whatever had started was drained before the exception surfaced;
+            # nothing keeps mutating shared state afterwards.
+            assert sorted(finished) == snapshot
+
+    def test_threaded_pool_reusable_after_shutdown(self):
+        executor = ThreadedExecutor(max_workers=2)
+        assert executor.run_all([lambda: 1]) == [1]
+        executor.shutdown()
+        assert executor.run_all([lambda: 2]) == [2]
+        executor.shutdown()
+
+    def test_invalid_max_workers(self):
+        with pytest.raises(ValueError):
+            ThreadedExecutor(max_workers=0)
+
+
+@pytest.mark.parametrize("executor_name", ["serial", "threaded"])
+class TestFastestQuorumSemantics:
+    def test_returns_exactly_q_results(self, executor_name):
+        transport = build_transport(executor=create_executor(executor_name))
+        peers = [f"node-{i}" for i in range(1, 9)]
+        for quorum in (1, 4, 8):
+            replies, elapsed = transport.pull_many("node-0", peers, "gradient", quorum=quorum)
+            assert len(replies) == quorum
+            latencies = [r.latency for r in replies]
+            assert latencies == sorted(latencies)
+            assert elapsed == max(latencies)
+            assert elapsed < sum(latencies) or quorum == 1
+        transport.executor.shutdown()
+
+    def test_excludes_stragglers_from_small_quorums(self, executor_name):
+        transport = build_transport(seed=5, executor=create_executor(executor_name))
+        transport.failures.set_straggler("node-7", 50.0)
+        transport.failures.set_straggler("node-8", 80.0)
+        peers = [f"node-{i}" for i in range(1, 9)]
+        for iteration in range(5):
+            replies, _ = transport.pull_many(
+                "node-0", peers, "gradient", quorum=5, iteration=iteration
+            )
+            assert all(r.source not in ("node-7", "node-8") for r in replies)
+        transport.executor.shutdown()
+
+    def test_excludes_crashed_workers(self, executor_name):
+        transport = build_transport(executor=create_executor(executor_name))
+        transport.failures.crash("node-3")
+        transport.failures.crash("node-4")
+        peers = [f"node-{i}" for i in range(1, 9)]
+        replies, _ = transport.pull_many("node-0", peers, "gradient", quorum=6)
+        assert len(replies) == 6
+        assert all(r.source not in ("node-3", "node-4") for r in replies)
+        transport.executor.shutdown()
+
+    def test_timeout_when_crashes_break_the_quorum(self, executor_name):
+        transport = build_transport(executor=create_executor(executor_name))
+        for index in range(1, 5):
+            transport.failures.crash(f"node-{index}")
+        peers = [f"node-{i}" for i in range(1, 9)]
+        with pytest.raises(TimeoutError):
+            transport.pull_many("node-0", peers, "gradient", quorum=5)
+        transport.executor.shutdown()
+
+
+class TestSerialThreadedEquivalence:
+    def test_pull_many_replies_identical(self):
+        """Same seed, same replies (payloads, latencies, order) on both engines."""
+        peers = [f"node-{i}" for i in range(1, 9)]
+        outcomes = []
+        for name in ("serial", "threaded"):
+            transport = build_transport(seed=11, executor=create_executor(name))
+            transport.failures.set_straggler("node-2", 10.0)
+            rounds = []
+            for iteration in range(4):
+                replies, elapsed = transport.pull_many(
+                    "node-0", peers, "gradient", quorum=6, iteration=iteration
+                )
+                rounds.append(
+                    (elapsed, [(r.source, r.latency, tuple(r.payload)) for r in replies])
+                )
+            outcomes.append(rounds)
+            transport.executor.shutdown()
+        assert outcomes[0] == outcomes[1]
+
+    @pytest.mark.parametrize("deployment", ["ssmw", "msmw"])
+    def test_training_results_identical(self, deployment):
+        """End to end: fixed seed => bit-identical aggregates and accuracy."""
+
+        def run(executor_name):
+            config = ClusterConfig(
+                deployment=deployment,
+                num_workers=7,
+                num_byzantine_workers=1,
+                num_attacking_workers=1,
+                worker_attack="reversed",
+                num_servers=1 if deployment == "ssmw" else 3,
+                num_byzantine_servers=0,
+                asynchronous=True,
+                gradient_gar="multi-krum",
+                model_gar="median",
+                model="logistic",
+                dataset="mnist",
+                dataset_size=200,
+                batch_size=8,
+                num_iterations=6,
+                accuracy_every=2,
+                executor=executor_name,
+                seed=13,
+            )
+            return Controller(config).run()
+
+        serial = run("serial")
+        threaded = run("threaded")
+        assert serial.final_accuracy == threaded.final_accuracy
+        assert serial.accuracy_history == threaded.accuracy_history
+        assert serial.metrics.total_time == threaded.metrics.total_time
+        assert serial.messages_sent == threaded.messages_sent
+        assert serial.bytes_sent == threaded.bytes_sent
+
+    def test_final_model_states_identical(self):
+        def final_state(executor_name):
+            config = ClusterConfig(
+                deployment="ssmw",
+                num_workers=6,
+                num_byzantine_workers=1,
+                asynchronous=True,
+                gradient_gar="median",
+                model="logistic",
+                dataset="mnist",
+                dataset_size=120,
+                batch_size=8,
+                num_iterations=5,
+                executor=executor_name,
+                seed=21,
+            )
+            controller = Controller(config)
+            deployment = controller.build()
+            controller.run(deployment)
+            return deployment.primary.flat_parameters()
+
+        assert np.array_equal(final_state("serial"), final_state("threaded"))
+
+
+class TestConfigWiring:
+    def test_default_executor_is_serial(self):
+        config = ClusterConfig(model="logistic", dataset_size=60, num_workers=3)
+        deployment = Controller(config).build()
+        assert isinstance(deployment.executor, SerialExecutor)
+        assert deployment.transport.executor is deployment.executor
+        assert deployment.servers[0].executor is deployment.executor
+
+    def test_threaded_executor_honours_worker_count(self):
+        config = ClusterConfig(
+            model="logistic",
+            dataset_size=60,
+            num_workers=3,
+            executor="threaded",
+            executor_workers=3,
+        )
+        deployment = Controller(config).build()
+        assert isinstance(deployment.executor, ThreadedExecutor)
+        assert deployment.executor.max_workers == 3
+        deployment.executor.shutdown()
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(model="logistic", executor="asyncio")
+
+    def test_negative_executor_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(model="logistic", executor_workers=-1)
+
+    def test_transport_rejects_non_executor(self):
+        with pytest.raises(CommunicationError):
+            Transport(executor=object())
+
+    def test_use_executor_swaps_engine(self):
+        transport = Transport()
+        assert isinstance(transport.executor, SerialExecutor)
+        threaded = ThreadedExecutor(max_workers=2)
+        transport.use_executor(threaded)
+        assert transport.executor is threaded
+        with pytest.raises(CommunicationError):
+            transport.use_executor("threaded")
+        threaded.shutdown()
+
+
+class TestAbstractExecutor:
+    def test_map_unordered_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            list(Executor().map_unordered([lambda: None]))

@@ -1,0 +1,83 @@
+"""Documentation surface checks, wired into the tier-1 test flow.
+
+Runs the same validation as ``make docs-check`` / ``scripts/check_docs.py``:
+the README and the docs/ pages must exist, their relative links must resolve,
+and every repository path or ``repro.*`` module they reference must be real.
+This keeps the documentation from drifting as modules move.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "scripts" / "check_docs.py"
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location("check_docs", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    return load_checker()
+
+
+def test_documents_exist():
+    for name in ("README.md", "docs/architecture.md", "docs/benchmarks.md"):
+        assert (REPO_ROOT / name).is_file(), f"{name} is missing"
+
+
+def test_docs_check_passes(check_docs, capsys):
+    assert check_docs.main() == 0, capsys.readouterr().err
+
+
+def test_readme_covers_the_required_sections(check_docs):
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for needle in (
+        "GARFIELD",
+        "DSN 2021",            # paper citation
+        "## Install",
+        "## Quickstart",
+        "## Architecture",
+        "examples/quickstart.py",
+        "docs/architecture.md",
+        "docs/benchmarks.md",
+        "make test",
+    ):
+        assert needle in text, f"README.md should mention {needle!r}"
+
+
+def test_architecture_documents_the_listing_api_and_executor():
+    text = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    for needle in (
+        "get_gradients(t, q)",
+        "get_models(q)",
+        "update_model",
+        "src/repro/core/executor.py",
+        "SerialExecutor",
+        "ThreadedExecutor",
+        "n ≥ 2f + 3",  # Krum precondition in the GAR table
+        "n ≥ 4f + 3",  # Bulyan precondition
+    ):
+        assert needle in text, f"architecture.md should mention {needle!r}"
+
+
+def test_benchmarks_doc_maps_every_bench_script():
+    text = (REPO_ROOT / "docs" / "benchmarks.md").read_text(encoding="utf-8")
+    bench_dir = REPO_ROOT / "benchmarks"
+    for script in sorted(bench_dir.glob("bench_*.py")):
+        assert script.name in text, f"docs/benchmarks.md should map {script.name}"
+
+
+def test_makefile_has_the_documented_targets():
+    makefile = (REPO_ROOT / "Makefile").read_text(encoding="utf-8")
+    for target in ("test:", "bench-smoke:", "docs-check:"):
+        assert target in makefile, f"Makefile should define {target}"
