@@ -1,18 +1,26 @@
 # Developer entry points for the GARFIELD reproduction.
 #
-#   make test        — tier-1 test suite (what CI gates on)
-#   make bench-smoke — the async fastest-q speedup benchmark (~10 s)
-#   make bench       — the full figure-reproduction benchmark suite (minutes)
-#   make docs-check  — validate README/docs links and path references
-#   make quickstart  — run the Listing 1 end-to-end example
+#   make test           — tier-1 test suite (what CI gates on)
+#   make test-scenarios — golden-trace regression suite for the chaos scenarios
+#   make update-golden  — explicitly re-bless the golden scenario traces
+#   make bench-smoke    — the async fastest-q speedup benchmark (~10 s)
+#   make bench          — the full figure-reproduction benchmark suite (minutes)
+#   make docs-check     — validate README/docs links and path references
+#   make quickstart     — run the Listing 1 end-to-end example
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench docs-check quickstart
+.PHONY: test test-scenarios update-golden bench-smoke bench docs-check quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-scenarios:
+	$(PYTHON) -m pytest tests/integration/test_scenarios_golden.py -q
+
+update-golden:
+	$(PYTHON) -m pytest tests/integration/test_scenarios_golden.py -q --update-golden
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_async_speedup.py

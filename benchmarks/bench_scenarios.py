@@ -1,0 +1,52 @@
+"""Chaos scenarios — convergence under dynamic failure regimes.
+
+Not a paper figure but the systems claim behind all of them: Byzantine-
+resilient SGD keeps converging when failures are *dynamic* — crashes and
+recoveries mid-training, straggler storms, partitions, attack onset, churn at
+the f-bound.  Every bundled scenario from
+:data:`repro.core.scenario.SCENARIO_LIBRARY` is run end to end and its final
+accuracy compared against the calm baseline; the deterministic trace
+fingerprints printed here are the same ones the golden-trace regression
+suite (``tests/integration/test_scenarios_golden.py``) locks down.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.core import Controller, available_scenarios, config_for_scenario
+
+
+def run_scenario(name: str):
+    return Controller(config_for_scenario(name)).run()
+
+
+def test_scenarios_converge_under_chaos(benchmark, table_printer):
+    """Every bundled chaos regime still converges close to the calm baseline."""
+    results = {name: run_scenario(name) for name in available_scenarios()}
+
+    rows = [
+        (
+            name,
+            result.final_accuracy,
+            len(result.trace.rounds),
+            sum(len(entry["events"]) for entry in result.trace.rounds),
+            result.trace.fingerprint(),
+        )
+        for name, result in results.items()
+    ]
+    table_printer(
+        "Chaos scenarios — final accuracy and trace fingerprints",
+        ["scenario", "accuracy", "rounds", "events", "fingerprint"],
+        rows,
+    )
+
+    baseline = results["calm_baseline"].final_accuracy
+    assert baseline > 0.9
+    for name, result in results.items():
+        # The resilient deployments should shrug off every bundled regime.
+        assert result.final_accuracy > baseline - 0.1, name
+        assert len(result.trace.rounds) == result.config.num_iterations
+
+    # Representative unit: one full chaotic run (crashes at the quorum edge).
+    benchmark.pedantic(lambda: run_scenario("crash_quorum_edge"), rounds=3, iterations=1)

@@ -1,0 +1,19 @@
+"""Repo-level pytest configuration.
+
+Lives at the repository root so its options are registered for every
+invocation style (``pytest``, ``pytest tests/...``, ``make test``).
+"""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "re-bless the golden scenario traces under tests/integration/golden/ "
+            "instead of asserting against them (see docs/scenarios.md)"
+        ),
+    )

@@ -39,6 +39,7 @@ def run_aggregathor(deployment: Deployment) -> None:
     server.optimizer.lr = server.optimizer.lr * LEGACY_STACK_FACTOR
 
     for iteration in range(config.num_iterations):
+        deployment.begin_round(iteration)
         accountant.begin()
         gradients = server.get_gradients(iteration, quorum)
         aggregated = gar(gradients=gradients, f=config.num_byzantine_workers)

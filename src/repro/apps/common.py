@@ -56,6 +56,21 @@ class RoundAccountant:
         vanilla = config.deployment == "vanilla"
         comm += self.deployment.cost_model.serialization_time(dimension, messages, vanilla=vanilla)
         compute = self.deployment.cost_model.compute_time(dimension, config.batch_size)
+        trace = self.deployment.trace
+        if trace is not None:
+            # Scenario-driven runs also record the test loss at evaluation
+            # rounds, so golden traces lock down convergence, not just
+            # accuracy plateaus.
+            if accuracy is not None and loss is None:
+                loss = self.server.compute_loss()
+            trace.end_round(
+                iteration,
+                quorum=len(self.server.last_gradient_sources),
+                gradient_sources=self.server.last_gradient_sources,
+                update_norm=self.server.last_update_norm,
+                accuracy=accuracy,
+                loss=loss,
+            )
         record = IterationRecord(
             iteration=iteration,
             compute_time=compute,

@@ -32,6 +32,9 @@ def run_crash_tolerant(deployment: Deployment) -> None:
     accountant = RoundAccountant(deployment, servers[primary_index])
 
     for iteration in range(config.num_iterations):
+        # Apply scheduled scenario events first so a crash injected at round t
+        # triggers the failover below within the same round.
+        deployment.begin_round(iteration)
         # Fail over if the primary crashed; the new primary's model may lag by
         # a few updates, which is acceptable for eventual convergence.
         while deployment.transport.failures.is_crashed(servers[primary_index].node_id):

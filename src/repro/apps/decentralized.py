@@ -60,6 +60,7 @@ def run_decentralized(deployment: Deployment) -> None:
     model_quorum = config.model_quorum()
 
     for iteration in range(config.num_iterations):
+        deployment.begin_round(iteration)
         accountant.begin()
 
         # Phase 1 — every node aggregates the gradients of its peers.

@@ -41,6 +41,7 @@ def run_msmw(deployment: Deployment) -> None:
     model_quorum = config.model_quorum()
 
     for iteration in range(config.num_iterations):
+        deployment.begin_round(iteration)
         accountant.begin()
         for server in honest:
             gradients = server.get_gradients(iteration, gradient_quorum)

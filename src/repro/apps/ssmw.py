@@ -29,6 +29,7 @@ def run_ssmw(deployment: Deployment) -> None:
     quorum = config.gradient_quorum()
 
     for iteration in range(config.num_iterations):
+        deployment.begin_round(iteration)
         accountant.begin()
         gradients = server.get_gradients(iteration, quorum)
         aggregated = gar(gradients=gradients, f=config.num_byzantine_workers)

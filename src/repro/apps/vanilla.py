@@ -22,6 +22,7 @@ def run_vanilla(deployment: Deployment) -> None:
     gar = deployment.gradient_gar  # Average for this deployment
 
     for iteration in range(config.num_iterations):
+        deployment.begin_round(iteration)
         accountant.begin()
         gradients = server.get_gradients(iteration, config.num_workers)
         aggregated = gar.aggregate(gradients)

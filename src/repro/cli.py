@@ -33,6 +33,7 @@ from repro.attacks import available_attacks
 from repro.core.cluster import ClusterConfig
 from repro.core.executor import available_executors
 from repro.core.controller import Controller
+from repro.core.scenario import SCENARIO_LIBRARY, available_scenarios, config_for_scenario
 from repro.network.topology import DEPLOYMENTS
 from repro.nn.models import MODEL_REGISTRY, PAPER_MODEL_DIMENSIONS
 from repro.version import __version__
@@ -78,8 +79,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--asynchronous", action="store_true")
     run_parser.add_argument("--non-iid", action="store_true")
+    run_parser.add_argument(
+        "--scenario",
+        help="chaos scenario driving the run: a bundled name (see 'repro scenarios') "
+        "or a path to a scenario JSON file; the scenario's cluster shape overrides "
+        "conflicting flags",
+    )
+    run_parser.add_argument(
+        "--trace-output", help="write the deterministic scenario trace to this JSON file"
+    )
     run_parser.add_argument("--output", help="write the TrainingResult to this JSON file")
     run_parser.set_defaults(handler=_cmd_run)
+
+    # ------------------------------------------------------------------ #
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="list the bundled chaos scenarios and their timelines"
+    )
+    scenarios_parser.set_defaults(handler=_cmd_scenarios)
 
     # ------------------------------------------------------------------ #
     throughput_parser = subparsers.add_parser(
@@ -103,11 +119,27 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("GARs        :", ", ".join(available_gars()))
     print("attacks     :", ", ".join(available_attacks()))
     print("models      :", ", ".join(sorted(MODEL_REGISTRY)))
+    print("scenarios   :", ", ".join(available_scenarios()))
+    return 0
+
+
+def _format_event(action: str, target=None, value=None) -> str:
+    """One-line rendering of a scenario event's action + operands."""
+    detail = " ".join(str(part) for part in (target, value) if part is not None)
+    return f"{action}  {detail}".rstrip()
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    for name in available_scenarios():
+        spec = SCENARIO_LIBRARY[name]
+        print(f"{name}: {spec.description}")
+        for event in spec.events:
+            print(f"    round {event.round:3d}  {_format_event(event.action, event.target, event.value)}")
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = ClusterConfig(
+    kwargs = dict(
         deployment=args.deployment,
         num_workers=args.workers,
         num_byzantine_workers=args.byzantine_workers,
@@ -131,8 +163,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         executor=args.executor,
         seed=args.seed,
     )
+    if args.scenario:
+        config = config_for_scenario(args.scenario, **kwargs)
+    else:
+        config = ClusterConfig(**kwargs)
     result = Controller(config).run()
     print(result.summary())
+    if result.trace is not None:
+        print(f"scenario '{result.trace.scenario}' trace fingerprint {result.trace.fingerprint()}")
+        for entry in result.trace.rounds:
+            for event in entry["events"]:
+                rendered = _format_event(event["action"], event.get("target"), event.get("value"))
+                print(f"  round {entry['round']:4d}  event: {rendered}")
+        if args.trace_output:
+            result.trace.save(args.trace_output)
+            print(f"trace written to {args.trace_output}")
+    elif args.trace_output:
+        print(
+            f"warning: no trace recorded (--trace-output requires --scenario); "
+            f"{args.trace_output} not written",
+            file=sys.stderr,
+        )
     for iteration, accuracy in result.accuracy_history:
         print(f"  iteration {iteration:4d}  accuracy {accuracy:.3f}")
     breakdown = result.breakdown

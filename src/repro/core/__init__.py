@@ -15,6 +15,9 @@ This package mirrors the component diagram of Figure 1 in the paper:
   that fan out ``get_gradients`` / ``get_models`` RPCs concurrently.
 * :mod:`repro.core.metrics` — accuracy, throughput, latency breakdown and the
   parameter-vector alignment measurements of Table 2.
+* :mod:`repro.core.scenario` — declarative chaos scenarios: round-indexed
+  failure/attack timelines applied by a director at round boundaries, with
+  deterministic per-round traces.
 """
 
 from repro.core.cluster import ClusterConfig
@@ -31,7 +34,17 @@ from repro.core.metrics import (
     AlignmentProbe,
     IterationRecord,
     MetricsLog,
+    Trace,
     parameter_alignment,
+)
+from repro.core.scenario import (
+    SCENARIO_LIBRARY,
+    ScenarioDirector,
+    ScenarioEvent,
+    ScenarioSpec,
+    available_scenarios,
+    config_for_scenario,
+    load_scenario,
 )
 from repro.core.node import Node
 from repro.core.server import Server
@@ -56,5 +69,13 @@ __all__ = [
     "MetricsLog",
     "IterationRecord",
     "AlignmentProbe",
+    "Trace",
     "parameter_alignment",
+    "SCENARIO_LIBRARY",
+    "ScenarioDirector",
+    "ScenarioEvent",
+    "ScenarioSpec",
+    "available_scenarios",
+    "config_for_scenario",
+    "load_scenario",
 ]

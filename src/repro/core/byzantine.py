@@ -26,11 +26,18 @@ def _resolve_attack(attack: Union[str, Attack], seed: int) -> Attack:
 
 
 class ByzantineWorker(Worker):
-    """A worker that corrupts (or withholds) the gradients it serves."""
+    """A worker that corrupts (or withholds) the gradients it serves.
+
+    ``attack_active`` gates the malicious behaviour at serve time: a scenario
+    (:mod:`repro.core.scenario`) can switch a declared-Byzantine worker
+    between honest and malicious mid-training (attack onset, churn at the
+    f-bound) without rebuilding the cluster.
+    """
 
     def __init__(self, *args, attack: Union[str, Attack] = "random", attack_seed: int = 7, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.attack = _resolve_attack(attack, attack_seed)
+        self.attack_active = True
 
     def _serve_gradient(self, context: RequestContext) -> Optional[np.ndarray]:
         # Hold the (re-entrant) serve lock across the attack as well: the
@@ -40,6 +47,8 @@ class ByzantineWorker(Worker):
             honest = super()._serve_gradient(context)
             if honest is None:  # pragma: no cover - defensive, workers always reply
                 return None
+            if not self.attack_active:
+                return honest
             return self.attack(honest)
 
 
@@ -54,6 +63,8 @@ class ByzantineServer(Server):
     def __init__(self, *args, attack: Union[str, Attack] = "random", attack_seed: int = 11, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.attack = _resolve_attack(attack, attack_seed)
+        #: Scenario-togglable gate, mirroring ByzantineWorker.attack_active.
+        self.attack_active = True
         # Same rationale as Worker._serve_lock: handlers run on executor pool
         # threads, and the attack's RNG is shared state that concurrent
         # fan-outs from several peers must consume in a consistent order.
@@ -62,11 +73,13 @@ class ByzantineServer(Server):
     def _serve_model(self, context: RequestContext) -> Optional[np.ndarray]:
         with self._serve_lock:
             honest = super()._serve_model(context)
+            if not self.attack_active:
+                return honest
             return self.attack(honest)
 
     def _serve_aggregated_gradient(self, context: RequestContext) -> Optional[np.ndarray]:
         with self._serve_lock:
             honest = super()._serve_aggregated_gradient(context)
-            if honest is None:
-                return None
+            if honest is None or not self.attack_active:
+                return honest
             return self.attack(honest)

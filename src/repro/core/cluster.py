@@ -73,6 +73,11 @@ class ClusterConfig:
     accuracy_every: int = 10
     seed: int = 1
     straggler_factors: Dict[str, float] = field(default_factory=dict)
+    #: Chaos scenario driving this run: a bundled scenario name or a path to a
+    #: scenario JSON file (see :mod:`repro.core.scenario`).  Empty = none.
+    #: When set, the Controller attaches a ScenarioDirector and a Trace
+    #: recorder to the deployment.
+    scenario: str = ""
 
     # ------------------------------------------------------------------ #
     def __post_init__(self) -> None:
@@ -108,6 +113,8 @@ class ClusterConfig:
             )
         if self.executor_workers < 0:
             raise ConfigurationError("executor_workers must be non-negative")
+        if not isinstance(self.scenario, str):
+            raise ConfigurationError("scenario must be a bundled name or a JSON file path")
         if self.gradient_gar not in GAR_REGISTRY:
             raise ConfigurationError(f"unknown gradient GAR '{self.gradient_gar}'")
         if self.model_gar not in GAR_REGISTRY:

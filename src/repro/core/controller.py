@@ -20,7 +20,8 @@ from repro.core.byzantine import ByzantineServer, ByzantineWorker
 from repro.core.cluster import ClusterConfig
 from repro.core.executor import Executor, create_executor
 from repro.core.experiment import Experiment
-from repro.core.metrics import AlignmentProbe, MetricsLog
+from repro.core.metrics import AlignmentProbe, MetricsLog, Trace
+from repro.core.scenario import ScenarioDirector, load_scenario
 from repro.core.server import Server
 from repro.core.worker import Worker
 from repro.datasets.partition import partition_dataset
@@ -46,6 +47,9 @@ class Deployment:
     cost_model: CostModel
     metrics: MetricsLog
     alignment: AlignmentProbe = field(default_factory=lambda: AlignmentProbe(every=20))
+    #: Chaos-scenario machinery, attached when the config names a scenario.
+    director: Optional[ScenarioDirector] = None
+    trace: Optional[Trace] = None
 
     @property
     def executor(self) -> Executor:
@@ -55,6 +59,18 @@ class Deployment:
         two can never diverge, e.g. after ``transport.use_executor(...)``.
         """
         return self.transport.executor
+
+    def begin_round(self, iteration: int) -> List[Dict]:
+        """Round-boundary hook every application calls first in its loop.
+
+        Applies the scenario events scheduled for ``iteration`` (if a
+        director is attached) and opens the round's trace entry; a no-op for
+        scenario-less deployments.  Returns the events applied.
+        """
+        events = self.director.apply(iteration) if self.director is not None else []
+        if self.trace is not None:
+            self.trace.begin_round(iteration, events)
+        return events
 
     @property
     def honest_servers(self) -> List[Server]:
@@ -86,6 +102,8 @@ class TrainingResult:
     alignment_samples: List[Dict[str, float]] = field(default_factory=list)
     messages_sent: int = 0
     bytes_sent: int = 0
+    #: Deterministic per-round trace, present for scenario-driven runs.
+    trace: Optional[Trace] = None
 
     def summary(self) -> str:
         acc = f"{self.final_accuracy:.3f}" if self.final_accuracy is not None else "n/a"
@@ -108,6 +126,7 @@ class TrainingResult:
             "bytes_sent": self.bytes_sent,
             "iterations": len(self.metrics),
             "total_simulated_time": self.metrics.total_time,
+            "trace": self.trace.to_dict() if self.trace is not None else None,
         }
 
     def save_json(self, path) -> None:
@@ -162,7 +181,7 @@ class Controller:
         servers = self._build_servers(config, transport, experiment, test_set, device, framework, cost_model, workers)
 
         metrics = MetricsLog(deployment=config.deployment)
-        return Deployment(
+        deployment = Deployment(
             config=config,
             transport=transport,
             experiment=experiment,
@@ -174,6 +193,13 @@ class Controller:
             cost_model=cost_model,
             metrics=metrics,
         )
+        if config.scenario:
+            spec = load_scenario(config.scenario)
+            deployment.trace = Trace(
+                scenario=spec.name, deployment=config.deployment, seed=config.seed
+            )
+            deployment.director = ScenarioDirector(spec, deployment)
+        return deployment
 
     # ------------------------------------------------------------------ #
     def _build_gradient_gar(self) -> GAR:
@@ -293,4 +319,5 @@ class Controller:
             alignment_samples=list(deployment.alignment.samples),
             messages_sent=stats.messages_sent,
             bytes_sent=stats.bytes_sent,
+            trace=deployment.trace,
         )

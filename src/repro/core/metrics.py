@@ -1,16 +1,25 @@
-"""Metric collection: accuracy, throughput, latency breakdown, alignment.
+"""Metric collection: accuracy, throughput, latency breakdown, alignment, traces.
 
 ``MetricsLog`` records one :class:`IterationRecord` per training step and can
 summarise the two metrics the paper uses (accuracy and throughput) plus the
 per-phase latency breakdown of Figure 7/16.  ``parameter_alignment``
 reproduces the Table 2 measurement: the cosine of the angle between the
 largest-norm difference vectors of the replicas' parameter vectors.
+
+``Trace`` is the deterministic per-round event/outcome log emitted by
+scenario-driven runs (:mod:`repro.core.scenario`): for every round it records
+the scenario events applied, the gradient-quorum outcome observed by the
+reporting server, the aggregated-update norm, and loss/accuracy at evaluation
+rounds.  Its canonical JSON form is what the golden-trace regression suite
+compares byte for byte.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -85,6 +94,102 @@ class MetricsLog:
             if record.accuracy is not None:
                 out.append((elapsed, record.accuracy))
         return out
+
+
+@dataclass
+class Trace:
+    """Deterministic per-round log of one scenario-driven training run.
+
+    Every field that reaches a round entry is either an ``int``, a ``str`` or
+    a Python ``float`` produced by deterministic arithmetic, so two runs with
+    the same seed and scenario — regardless of the execution engine — emit
+    byte-identical canonical JSON (:meth:`to_json`).
+    """
+
+    scenario: str = ""
+    deployment: str = ""
+    seed: int = 0
+    rounds: List[Dict[str, Any]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def begin_round(self, round_index: int, events: Sequence[Dict[str, Any]] = ()) -> Dict[str, Any]:
+        """Open the entry for one round, recording the scenario events applied."""
+        entry: Dict[str, Any] = {
+            "round": int(round_index),
+            "events": [dict(event) for event in events],
+            "quorum": None,
+            "gradient_sources": [],
+            "update_norm": None,
+            "accuracy": None,
+            "loss": None,
+        }
+        self.rounds.append(entry)
+        return entry
+
+    def end_round(
+        self,
+        round_index: int,
+        *,
+        quorum: Optional[int] = None,
+        gradient_sources: Sequence[str] = (),
+        update_norm: Optional[float] = None,
+        accuracy: Optional[float] = None,
+        loss: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Fill the quorum/outcome fields of a round opened by :meth:`begin_round`.
+
+        Robust to callers that never opened the round (an entry is created on
+        the fly) so applications cannot corrupt the trace by mis-ordering.
+        """
+        entry = next(
+            (r for r in reversed(self.rounds) if r["round"] == int(round_index)), None
+        )
+        if entry is None:
+            entry = self.begin_round(round_index)
+        entry["quorum"] = None if quorum is None else int(quorum)
+        entry["gradient_sources"] = [str(s) for s in gradient_sources]
+        entry["update_norm"] = None if update_norm is None else float(update_norm)
+        entry["accuracy"] = None if accuracy is None else float(accuracy)
+        entry["loss"] = None if loss is None else float(loss)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "deployment": self.deployment,
+            "seed": self.seed,
+            "rounds": [dict(r) for r in self.rounds],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, fixed indentation, trailing newline."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def fingerprint(self) -> str:
+        """Short sha256 digest of the canonical JSON (for summaries and logs)."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:16]
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Trace":
+        return cls(
+            scenario=data.get("scenario", ""),
+            deployment=data.get("deployment", ""),
+            seed=int(data.get("seed", 0)),
+            rounds=[dict(r) for r in data.get("rounds", [])],
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
 
 
 def parameter_alignment(

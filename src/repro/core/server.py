@@ -71,6 +71,12 @@ class Server(Node):
         self.messages_exchanged = 0
         self.iterations_run = 0
 
+        # Per-round observations consumed by the scenario trace recorder: the
+        # sources of the last gradient quorum (ordered by simulated arrival)
+        # and the norm of the last aggregated update applied.
+        self.last_gradient_sources: List[str] = []
+        self.last_update_norm: Optional[float] = None
+
         #: Latest aggregated gradient — served to peers during the
         #: decentralized *contract* step (Listing 3).
         self.latest_aggr_grad: Optional[np.ndarray] = None
@@ -110,6 +116,7 @@ class Server(Node):
         if not np.all(np.isfinite(aggregated_gradient)):
             raise TrainingError("aggregated gradient contains non-finite values")
         self.optimizer.apply_flat_gradient(aggregated_gradient)
+        self.last_update_norm = float(np.linalg.norm(aggregated_gradient))
         self.iterations_run += 1
 
     # ------------------------------------------------------------------ #
@@ -141,6 +148,7 @@ class Server(Node):
         # Requests carry the model state and every reply carries a gradient —
         # both are d-sized messages through this server's NIC.
         self.messages_exchanged += len(self.workers) + len(replies)
+        self.last_gradient_sources = [reply.source for reply in replies]
         return [np.asarray(reply.payload, dtype=np.float64) for reply in replies]
 
     def get_models(self, quorum: Optional[int] = None, iteration: int = 0) -> List[np.ndarray]:

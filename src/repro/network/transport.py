@@ -200,13 +200,14 @@ class Transport:
         if self.wall_time_scale > 0 and np.isfinite(latency):
             time.sleep(latency * self.wall_time_scale)
 
-    def _plan(self, destination: str, kind: str) -> Optional[_PlannedPull]:
+    def _plan(self, source: str, destination: str, kind: str) -> Optional[_PlannedPull]:
         """Account one pull and pre-sample its random quantities, in order.
 
         Shared by :meth:`pull` and :meth:`pull_many` so both consume the RNG
         stream identically.  Raises on crashed peers and unknown kinds (the
         fan-out caller decides whether to skip or propagate); returns ``None``
-        when the message is dropped.
+        when the message is lost — dropped by the lossy link or cut off by a
+        network partition between ``source`` and ``destination``.
         """
         self.stats.pulls_issued += 1
         if self.failures.is_crashed(destination):
@@ -214,6 +215,8 @@ class Transport:
         handler = self._handlers.get((destination, kind))
         if handler is None:
             raise CommunicationError(f"node '{destination}' serves no '{kind}' requests")
+        if self.failures.is_unreachable(source, destination):
+            return None  # partitioned away: lost without consuming drop randomness
         if self.failures.should_drop():
             return None
         return _PlannedPull(
@@ -260,7 +263,7 @@ class Transport:
         payload: Any = None,
     ) -> Reply:
         """Pull ``kind`` data from ``destination`` on behalf of ``source``."""
-        planned = self._plan(destination, kind)
+        planned = self._plan(source, destination, kind)
         if planned is None:  # dropped in transit
             return Reply(source=destination, kind=kind, iteration=iteration, payload=None, latency=np.inf)
         reply = self._serve(planned, source, kind, iteration, payload)
@@ -312,7 +315,7 @@ class Transport:
         planned: List[_PlannedPull] = []
         for destination in destinations:
             try:
-                plan = self._plan(destination, kind)
+                plan = self._plan(source, destination, kind)
             except NodeCrashedError:
                 continue
             if plan is not None:

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.aggregators import MDA, Bulyan, Median, MultiKrum, TrimmedMean, init
+from repro.aggregators.base import GAR_REGISTRY
 
 
 def vector_lists(min_vectors, max_vectors=9, dim=5):
@@ -131,3 +132,117 @@ def test_all_gars_idempotent_on_identical_inputs(name):
     vector = np.linspace(-1, 1, 8)
     out = gar.aggregate([vector.copy() for _ in range(n)])
     assert np.allclose(out, vector)
+
+
+# ---------------------------------------------------------------------- #
+# Quorum-boundary properties: what happens when a chaos scenario shrinks the
+# live-worker count to exactly the n - f asynchronous quorum (the regime
+# exercised by the bundled `crash_quorum_edge` / `churn_at_f_bound`
+# scenarios).  At the boundary the GAR receives exactly `minimum_inputs(f)`
+# gradients — its resilience precondition must still hold, with no slack.
+# ---------------------------------------------------------------------- #
+
+#: Every registered rule except the non-robust averaging baseline.
+ROBUST_GARS = sorted(set(GAR_REGISTRY) - {"average"})
+
+#: Rules whose output is coordinate-wise bounded by the honest inputs even
+#: with f adversarial inputs present (selection/trimming based).
+COORDINATE_BOUNDED_GARS = ["median", "mda", "trimmed-mean", "bulyan", "meamed"]
+
+
+@pytest.mark.parametrize("name", ROBUST_GARS)
+@settings(max_examples=20, deadline=None)
+@given(f=st.integers(min_value=1, max_value=2), seed=st.integers(min_value=0, max_value=500))
+def test_gar_accepts_exactly_minimum_inputs_at_quorum_boundary(name, f, seed):
+    """At q == minimum_inputs(f) the rule must still aggregate successfully."""
+    cls = GAR_REGISTRY[name]
+    quorum = cls.minimum_inputs(f)
+    gar = init(name, n=quorum, f=f)
+    rng = np.random.default_rng(seed)
+    honest = [rng.normal(size=6) for _ in range(quorum - f)]
+    malicious = [rng.normal(size=6) * 1e4 for _ in range(f)]
+    out = gar.aggregate(honest + malicious)
+    assert out.shape == (6,)
+    assert np.all(np.isfinite(out))
+
+
+@pytest.mark.parametrize("name", COORDINATE_BOUNDED_GARS)
+@settings(max_examples=20, deadline=None)
+@given(
+    f=st.integers(min_value=1, max_value=2),
+    attack_scale=st.floats(min_value=10.0, max_value=1e6),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_boundary_quorum_still_bounds_byzantine_influence(name, f, attack_scale, seed):
+    """Even with zero slack above the precondition, f malicious inputs cannot
+    drag the output outside the honest coordinate range."""
+    cls = GAR_REGISTRY[name]
+    quorum = cls.minimum_inputs(f)
+    gar = init(name, n=quorum, f=f)
+    rng = np.random.default_rng(seed)
+    honest = [rng.normal(size=5) for _ in range(quorum - f)]
+    malicious = [np.full(5, attack_scale) for _ in range(f)]
+    out = gar.aggregate(honest + malicious)
+    stacked = np.stack(honest)
+    assert (out <= stacked.max(axis=0) + 1e-6).all()
+    assert (out >= stacked.min(axis=0) - 1e-6).all()
+
+
+@pytest.mark.parametrize("name", ROBUST_GARS)
+def test_gar_rejects_one_below_the_boundary(name):
+    """One gradient short of the precondition must fail loudly, not silently."""
+    from repro.exceptions import AggregationError
+
+    cls = GAR_REGISTRY[name]
+    f = 1
+    quorum = cls.minimum_inputs(f)
+    if quorum <= 1:
+        pytest.skip("rule degenerates to a single input")
+    gar = init(name, n=quorum, f=f)
+    vectors = [np.ones(4) * i for i in range(quorum - 1)]
+    with pytest.raises(AggregationError):
+        gar.aggregate(vectors)
+
+
+@pytest.mark.parametrize("name", ["median", "mda", "trimmed-mean"])
+def test_scenario_shrinks_live_workers_to_exact_quorum_boundary(name):
+    """End to end: a scenario crashes f workers so the server collects exactly
+    the n - f quorum, and the GAR still aggregates what arrives."""
+    from repro.core import ClusterConfig, Controller
+    from repro.core.scenario import ScenarioDirector, ScenarioEvent, ScenarioSpec
+
+    f = 2
+    cls = GAR_REGISTRY[name]
+    quorum = cls.minimum_inputs(f)
+    num_workers = quorum + f  # async quorum n - f lands exactly on the minimum
+    config = ClusterConfig(
+        deployment="ssmw",
+        asynchronous=True,
+        num_workers=num_workers,
+        num_byzantine_workers=f,
+        gradient_gar=name,
+        model="logistic",
+        dataset_size=120,
+        batch_size=8,
+        num_iterations=2,
+        seed=23,
+    )
+    deployment = Controller(config).build()
+    spec = ScenarioSpec(
+        name=f"shrink-{name}",
+        events=[
+            ScenarioEvent(round=0, action="crash", target=f"worker-{i}") for i in range(f)
+        ],
+    )
+    director = ScenarioDirector(spec, deployment)
+    director.apply(0)
+
+    server = deployment.servers[0]
+    gradients = server.get_gradients(0, config.gradient_quorum())
+    assert len(gradients) == quorum == config.gradient_quorum()
+    gar = deployment.gradient_gar
+    out = gar(gradients=gradients, f=f)
+    assert np.all(np.isfinite(out))
+    stacked = np.stack(gradients)
+    assert (out <= stacked.max(axis=0) + 1e-9).all()
+    assert (out >= stacked.min(axis=0) - 1e-9).all()

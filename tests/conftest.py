@@ -17,6 +17,12 @@ def rng():
 
 
 @pytest.fixture
+def update_golden(request):
+    """Whether ``--update-golden`` was passed: re-bless golden traces explicitly."""
+    return bool(request.config.getoption("--update-golden"))
+
+
+@pytest.fixture
 def tiny_dataset():
     """A small, easy synthetic dataset (flat 4x4 single-channel images, 4 classes)."""
     return make_classification(120, (1, 4, 4), num_classes=4, noise=0.3, seed=3)

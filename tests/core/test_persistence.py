@@ -111,6 +111,100 @@ class TestResultExport:
         assert data["messages_sent"] == result.messages_sent
 
 
+class TestCrashRecoverScenario:
+    """Crash-then-recover round-trip of the crash-tolerant app, driven by a
+    scenario, including bringing the recovered replica back up to date from a
+    checkpoint (the classical complement to replication)."""
+
+    def build_scenario(self, tmp_path):
+        from repro.core.scenario import ScenarioSpec
+
+        spec = ScenarioSpec.from_dict(
+            {
+                "name": "primary-crash-recover",
+                "description": "primary crashes mid-run, backup takes over, primary recovers",
+                "config": {
+                    "deployment": "crash-tolerant",
+                    "num_workers": 4,
+                    "num_servers": 3,
+                    "model": "logistic",
+                    "dataset_size": 150,
+                    "batch_size": 8,
+                    "num_iterations": 6,
+                    "accuracy_every": 2,
+                    "seed": 5,
+                },
+                "events": [
+                    {"round": 2, "action": "crash", "target": "server-0"},
+                    {"round": 4, "action": "recover", "target": "server-0"},
+                ],
+            }
+        )
+        path = tmp_path / "primary_crash.json"
+        spec.save(path)
+        return path
+
+    def test_failover_and_checkpoint_restore(self, tmp_path):
+        from repro.core.scenario import config_for_scenario
+
+        config = config_for_scenario(str(self.build_scenario(tmp_path)))
+        controller = Controller(config)
+        deployment = controller.build()
+        result = controller.run(deployment)
+
+        # The run survived the primary crash: all rounds completed and the
+        # trace records the crash/recover timeline.
+        assert len(deployment.metrics) == 6
+        assert result.final_accuracy is not None
+        events = [e["action"] for entry in result.trace.rounds for e in entry["events"]]
+        assert events == ["crash", "recover"]
+
+        # Failover happened: the backup kept training while the old primary's
+        # state froze at the crash round.
+        crashed, backup = deployment.servers[0], deployment.servers[1]
+        assert backup.iterations_run == 6
+        assert crashed.iterations_run == 2
+
+        # Checkpoint round-trip brings the recovered replica back up to date.
+        checkpoint = tmp_path / "primary.npz"
+        backup.save_checkpoint(checkpoint)
+        restored_iterations = crashed.load_checkpoint(checkpoint)
+        assert restored_iterations == 6
+        assert crashed.iterations_run == 6
+        assert np.allclose(crashed.flat_parameters(), backup.flat_parameters())
+        # The restored replica answers model pulls with the caught-up state.
+        reply = deployment.transport.pull("worker-0", "server-0", "model")
+        assert np.allclose(np.asarray(reply.payload), backup.flat_parameters())
+
+    def test_all_replicas_crashed_aborts(self, tmp_path):
+        from repro.core.scenario import ScenarioSpec, config_for_scenario
+        from repro.exceptions import TrainingError
+
+        spec = ScenarioSpec.from_dict(
+            {
+                "name": "total-server-loss",
+                "config": {
+                    "deployment": "crash-tolerant",
+                    "num_workers": 3,
+                    "num_servers": 2,
+                    "model": "logistic",
+                    "dataset_size": 90,
+                    "batch_size": 8,
+                    "num_iterations": 4,
+                    "seed": 5,
+                },
+                "events": [
+                    {"round": 1, "action": "crash", "target": "server-0"},
+                    {"round": 2, "action": "crash", "target": "server-1"},
+                ],
+            }
+        )
+        path = tmp_path / "total_loss.json"
+        spec.save(path)
+        with pytest.raises(TrainingError):
+            Controller(config_for_scenario(str(path))).run()
+
+
 class TestWorkerMomentum:
     def test_momentum_accumulates_across_requests(self):
         from repro.core.worker import Worker

@@ -1,0 +1,109 @@
+"""Golden-trace regression suite for the bundled chaos scenarios.
+
+Every bundled scenario (:data:`repro.core.scenario.SCENARIO_LIBRARY`) is run
+end to end under **both** execution engines at its pinned seed; the resulting
+:class:`~repro.core.metrics.Trace` must
+
+1. be byte-identical between the serial and the threaded executor
+   (the determinism contract of :mod:`repro.core.executor` extended to
+   dynamically injected failures), and
+2. match the checked-in golden trace under ``tests/integration/golden/``.
+
+Golden traces are re-blessed *explicitly* and never silently::
+
+    python -m pytest tests/integration/test_scenarios_golden.py --update-golden
+    # or: make update-golden
+
+after which the diff of the ``.json`` files is reviewed like any code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core import Controller, available_scenarios, config_for_scenario
+from repro.core.metrics import Trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def run_scenario(name: str, executor: str) -> Trace:
+    config = config_for_scenario(name, executor=executor)
+    result = Controller(config).run()
+    assert result.trace is not None
+    return result.trace
+
+
+class TestGoldenTraces:
+    @pytest.mark.parametrize("name", available_scenarios())
+    def test_trace_is_executor_invariant_and_matches_golden(self, name, update_golden):
+        serial = run_scenario(name, "serial")
+        threaded = run_scenario(name, "threaded")
+        assert serial.to_json() == threaded.to_json(), (
+            f"scenario '{name}' produced different traces under the serial and "
+            "threaded executors — the determinism contract is broken"
+        )
+
+        path = GOLDEN_DIR / f"{name}.json"
+        if update_golden:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(serial.to_json(), encoding="utf-8")
+            return
+        assert path.is_file(), (
+            f"missing golden trace {path}; bless it explicitly with "
+            "'make update-golden'"
+        )
+        assert serial.to_json() == path.read_text(encoding="utf-8"), (
+            f"scenario '{name}' no longer reproduces its golden trace; if the "
+            "change is intentional, re-bless with 'make update-golden' and "
+            "review the diff"
+        )
+
+    def test_every_bundled_scenario_has_a_golden_trace(self, update_golden):
+        if update_golden:
+            pytest.skip("golden traces are being re-blessed")
+        stored = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+        assert stored == set(available_scenarios())
+
+
+class TestGoldenTraceContents:
+    """Sanity constraints every golden file must keep satisfying."""
+
+    @pytest.mark.parametrize("name", available_scenarios())
+    def test_golden_covers_all_rounds_and_events(self, name, update_golden):
+        if update_golden:
+            pytest.skip("golden traces are being re-blessed")
+        data = json.loads((GOLDEN_DIR / f"{name}.json").read_text(encoding="utf-8"))
+        trace = Trace.from_dict(data)
+        assert trace.scenario == name
+        iterations = config_for_scenario(name).num_iterations
+        assert [entry["round"] for entry in trace.rounds] == list(range(iterations))
+        from repro.core.scenario import SCENARIO_LIBRARY
+
+        expected_events = [event.to_dict() for event in SCENARIO_LIBRARY[name].events]
+        recorded_events = [event for entry in trace.rounds for event in entry["events"]]
+        assert recorded_events == expected_events
+        # Every round applied an update and observed a full quorum.
+        for entry in trace.rounds:
+            assert entry["quorum"] >= 1
+            assert len(entry["gradient_sources"]) == entry["quorum"]
+            assert entry["update_norm"] is not None and entry["update_norm"] >= 0.0
+
+
+class TestScenarioCLI:
+    @pytest.mark.parametrize("name", available_scenarios())
+    def test_run_via_cli(self, name, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        assert main(["run", "--scenario", name, "--trace-output", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"scenario '{name}' trace fingerprint" in out
+        stored = Trace.load(trace_path)
+        assert stored.scenario == name
+        golden = GOLDEN_DIR / f"{name}.json"
+        if golden.is_file():
+            # The CLI run must reproduce the exact golden trace as well.
+            assert stored.to_json() == golden.read_text(encoding="utf-8")

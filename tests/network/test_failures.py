@@ -1,6 +1,8 @@
-"""Tests for crash / straggler / drop injection."""
+"""Tests for crash / straggler / drop / partition injection."""
 
 from __future__ import annotations
+
+import threading
 
 import pytest
 
@@ -22,9 +24,24 @@ class TestCrash:
         injector = FailureInjector()
         injector.crash("a")
         injector.set_straggler("b", 3.0)
+        injector.set_drop_rate(0.5)
+        injector.set_partition([["c", "d"]])
         injector.reset()
         assert not injector.is_crashed("a")
         assert injector.latency_factor("b") == 1.0
+        assert injector.drop_probability == 0.0
+        assert not injector.is_unreachable("a", "c")
+        assert injector.partition_islands() == []
+
+    def test_reset_restores_the_drop_rng(self):
+        fresh = FailureInjector(seed=9, drop_probability=0.5)
+        pristine = [fresh.should_drop() for _ in range(20)]
+        recycled = FailureInjector(seed=9, drop_probability=0.5)
+        for _ in range(7):
+            recycled.should_drop()
+        recycled.reset()
+        recycled.set_drop_rate(0.5)
+        assert [recycled.should_drop() for _ in range(20)] == pristine
 
 
 class TestStragglers:
@@ -61,3 +78,108 @@ class TestDrops:
         a = [FailureInjector(seed=3, drop_probability=0.5).should_drop() for _ in range(1)]
         b = [FailureInjector(seed=3, drop_probability=0.5).should_drop() for _ in range(1)]
         assert a == b
+
+    def test_set_drop_rate_validates(self):
+        injector = FailureInjector()
+        injector.set_drop_rate(0.3)
+        assert injector.drop_probability == 0.3
+        with pytest.raises(ValueError):
+            injector.set_drop_rate(1.0)
+        with pytest.raises(ValueError):
+            injector.set_drop_rate(-0.1)
+
+
+class TestPartitions:
+    def test_no_partition_by_default(self):
+        assert not FailureInjector().is_unreachable("a", "b")
+
+    def test_island_cut_off_from_mainland(self):
+        injector = FailureInjector()
+        injector.set_partition([["w4", "w5"]])
+        assert injector.is_unreachable("s0", "w4")
+        assert injector.is_unreachable("w5", "s0")
+        # Within an island and within the mainland traffic still flows.
+        assert not injector.is_unreachable("w4", "w5")
+        assert not injector.is_unreachable("s0", "w0")
+
+    def test_flat_list_means_one_island(self):
+        injector = FailureInjector()
+        injector.set_partition(["w1", "w2"])
+        assert injector.partition_islands() == [["w1", "w2"]]
+        assert injector.is_unreachable("s0", "w1")
+
+    def test_two_islands_cannot_reach_each_other(self):
+        injector = FailureInjector()
+        injector.set_partition([["a"], ["b"]])
+        assert injector.is_unreachable("a", "b")
+        assert injector.is_unreachable("a", "mainland")
+        assert injector.is_unreachable("b", "mainland")
+
+    def test_heal_reconnects(self):
+        injector = FailureInjector()
+        injector.set_partition([["w1"]])
+        injector.heal_partition()
+        assert not injector.is_unreachable("s0", "w1")
+        assert injector.partition_islands() == []
+
+    def test_duplicate_membership_rejected(self):
+        with pytest.raises(ValueError):
+            FailureInjector().set_partition([["a"], ["a", "b"]])
+
+    def test_empty_island_rejected(self):
+        with pytest.raises(ValueError):
+            FailureInjector().set_partition([[]])
+
+    def test_non_string_member_rejected(self):
+        with pytest.raises(ValueError):
+            FailureInjector().set_partition([["a", 7]])
+
+
+class TestThreadSafety:
+    """Scenario directors mutate the injector while threaded-executor handler
+    tasks consult it; mutation and reads must never corrupt shared state."""
+
+    def test_concurrent_mutation_and_reads(self):
+        injector = FailureInjector(seed=1)
+        injector.set_drop_rate(0.2)
+        nodes = [f"w{i}" for i in range(8)]
+        errors = []
+        stop = threading.Event()
+
+        def mutate():
+            try:
+                for i in range(300):
+                    node = nodes[i % len(nodes)]
+                    injector.crash(node)
+                    injector.set_straggler(node, 2.0 + (i % 5))
+                    injector.set_partition([[node]])
+                    injector.recover(node)
+                    injector.clear_straggler(node)
+                    injector.heal_partition()
+            except Exception as exc:  # pragma: no cover - the assertion below
+                errors.append(exc)
+
+        def read():
+            try:
+                while not stop.is_set():
+                    for node in nodes:
+                        injector.is_crashed(node)
+                        injector.latency_factor(node)
+                        injector.is_unreachable("s0", node)
+                        injector.should_drop()
+            except Exception as exc:  # pragma: no cover - the assertion below
+                errors.append(exc)
+
+        readers = [threading.Thread(target=read) for _ in range(3)]
+        writers = [threading.Thread(target=mutate) for _ in range(2)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert errors == []
+        # Writers finished their cycles: the injector ends in a clean state.
+        assert not any(injector.is_crashed(node) for node in nodes)
+        assert injector.partition_islands() == []

@@ -28,8 +28,33 @@ class TestListCommand:
     def test_lists_building_blocks(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for expected in ["multi-krum", "bulyan", "little-is-enough", "resnet50", "msmw"]:
+        for expected in ["multi-krum", "bulyan", "little-is-enough", "resnet50", "msmw", "crash_quorum_edge"]:
             assert expected in out
+
+
+class TestScenariosCommand:
+    def test_lists_bundled_timelines(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ["calm_baseline", "straggler_storm", "partition_heal", "churn_at_f_bound"]:
+            assert name in out
+        assert "crash  worker-0" in out
+
+    def test_run_with_unknown_scenario_fails(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "--scenario", "not-a-scenario"])
+
+    def test_trace_output_without_scenario_warns(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.json"
+        args = [
+            "run", "--workers", "4", "--dataset-size", "100", "--iterations", "2",
+            "--trace-output", str(trace_path),
+        ]
+        assert main(args) == 0
+        assert "requires --scenario" in capsys.readouterr().err
+        assert not trace_path.exists()
 
 
 class TestThroughputCommand:
