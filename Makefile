@@ -2,6 +2,8 @@
 #
 #   make test           — tier-1 test suite (what CI gates on)
 #   make test-scenarios — golden-trace regression suite for the chaos scenarios
+#   make test-backends  — transport conformance + golden equivalence across the
+#                         serial / threaded / process backends
 #   make update-golden  — explicitly re-bless the golden scenario traces
 #   make bench-smoke    — the async fastest-q speedup benchmark (~10 s)
 #   make bench          — the full figure-reproduction benchmark suite (minutes)
@@ -11,13 +13,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-scenarios update-golden bench-smoke bench docs-check quickstart
+.PHONY: test test-scenarios test-backends update-golden bench-smoke bench docs-check quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-scenarios:
 	$(PYTHON) -m pytest tests/integration/test_scenarios_golden.py -q
+
+test-backends:
+	$(PYTHON) -m pytest tests/network/test_wire.py tests/network/test_rpc_conformance.py \
+		tests/integration/test_scenarios_golden.py tests/integration/test_process_chaos.py -q
 
 update-golden:
 	$(PYTHON) -m pytest tests/integration/test_scenarios_golden.py -q --update-golden

@@ -6,6 +6,9 @@ invocation style (``pytest``, ``pytest tests/...``, ``make test``).
 
 from __future__ import annotations
 
+#: Execution backends the cross-backend suites parameterize over.
+BACKENDS = ("serial", "threaded", "process")
+
 
 def pytest_addoption(parser) -> None:
     parser.addoption(
@@ -17,3 +20,41 @@ def pytest_addoption(parser) -> None:
             "instead of asserting against them (see docs/scenarios.md)"
         ),
     )
+    parser.addoption(
+        "--backend",
+        action="store",
+        default=None,
+        choices=BACKENDS,
+        help=(
+            "only run backend-parameterized tests against this transport/executor "
+            "backend (tests marked for other backends are deselected)"
+        ),
+    )
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "backend(name): test exercises the named transport/executor backend "
+        "(serial, threaded or process); filter with --backend",
+    )
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running test (process-level chaos, full convergence runs)",
+    )
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    chosen = config.getoption("--backend")
+    if not chosen:
+        return
+    selected, deselected = [], []
+    for item in items:
+        markers = [m.args[0] for m in item.iter_markers(name="backend") if m.args]
+        if markers and chosen not in markers:
+            deselected.append(item)
+        else:
+            selected.append(item)
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = selected

@@ -15,7 +15,9 @@ learning-rate handicap.
 
 Byzantine tolerance: up to ``f_w`` Byzantine workers under Multi-Krum's
 ``n_w >= 2 f_w + 3`` precondition; the single server is trusted
-(``f_ps = 0``) and cannot be replicated in this architecture.
+(``f_ps = 0``) and cannot be replicated in this architecture.  The loop is
+backend-agnostic: the same robust-aggregation round runs unchanged whether
+workers are in-process handlers or OS subprocesses (``executor="process"``).
 """
 
 from __future__ import annotations

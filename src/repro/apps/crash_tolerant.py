@@ -11,7 +11,10 @@ crashes (detected by a timeout, here by the transport raising
 Failure tolerance: up to ``n_ps - 1`` *crash* failures of server replicas,
 but **zero** Byzantine tolerance — gradients are plainly averaged
 (``f_w = 0``) and replicas are trusted, which is exactly the gap between
-this strawman and MSMW.
+this strawman and MSMW.  Under the process backend a scenario ``crash`` is a
+real SIGKILL of the replica's subprocess and the failover below still
+engages unchanged, because crash detection goes through the shared
+failure-injector view the director maintains.
 """
 
 from __future__ import annotations

@@ -11,7 +11,10 @@ node plays both roles, so the same bound applies to the gradient and the
 model exchange; the quorums are fixed at ``n_w - f_w`` gradients and
 ``n_w - f_w - 1`` peer models (Listing 3), and the configured GARs must
 accept those input counts (e.g. Median's ``>= 2 f + 1``).  All three
-communication phases fan out through the execution engine.
+communication phases fan out through the execution engine; publishing to
+``latest_aggr_grad`` during the contract step goes through a synced property
+so peer subprocesses under the process backend observe each fresh aggregate
+before they pull it.
 """
 
 from __future__ import annotations

@@ -19,7 +19,10 @@ precondition, e.g. ``n_w >= 2 f_w + 3`` for Multi-Krum) *and* up to ``f_ps``
 Byzantine servers, requiring the model GAR's precondition over the
 ``model_quorum + 1`` aggregated models (e.g. ``>= 2 f_ps + 1`` for Median);
 liveness in asynchronous runs additionally needs ``q + f`` deployed nodes
-per pull.  Both communication rounds fan out through the execution engine.
+per pull.  Both communication rounds fan out through the execution engine;
+under the process backend each replica's model state is mirrored to its
+hosting subprocess after every update, so the inter-server model exchange
+observes exactly the state the in-process path would.
 """
 
 from __future__ import annotations

@@ -12,6 +12,11 @@ Multi-Krum); the single parameter server is trusted (``f_ps = 0``).  Each
 the threaded executor the workers are serviced concurrently and a straggler
 delays the round by at most its own service time instead of serializing
 behind every other worker.
+
+The loop itself is backend-agnostic: under ``executor="process"`` every
+worker is a separate OS subprocess reached over TCP
+(:mod:`repro.network.rpc`) and the same fixed seed reproduces the same
+canonical trace — the determinism contract of :mod:`repro.core.executor`.
 """
 
 from __future__ import annotations

@@ -5,7 +5,9 @@ collection.  This is what an unmodified TensorFlow / PyTorch deployment does
 and it fails under any Byzantine behaviour — which Figure 5 demonstrates.
 
 Byzantine tolerance: **none** (``f_w = f_ps = 0``); a single malicious
-worker controls the average.
+worker controls the average.  Like every application loop the collection
+runs through the deployment's execution engine, so the baseline too can be
+driven with workers as real subprocesses (``executor="process"``).
 """
 
 from __future__ import annotations

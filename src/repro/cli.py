@@ -75,7 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor",
         choices=available_executors(),
         default="serial",
-        help="engine servicing RPC fan-outs (threaded = concurrent peers)",
+        help=(
+            "engine servicing RPC fan-outs: serial (deterministic, in-order), "
+            "threaded (concurrent peers), process (every node a real OS "
+            "subprocess over TCP); all three reproduce the same trace for a "
+            "fixed seed"
+        ),
     )
     run_parser.add_argument("--asynchronous", action="store_true")
     run_parser.add_argument("--non-iid", action="store_true")

@@ -11,8 +11,10 @@ This package mirrors the component diagram of Figure 1 in the paper:
 * :mod:`repro.core.cluster` / :mod:`repro.core.controller` — cluster
   definition, parameter parsing and deployment construction.
 * :mod:`repro.core.experiment` — the model / dataset registry.
-* :mod:`repro.core.executor` — the execution engines (serial / threaded)
-  that fan out ``get_gradients`` / ``get_models`` RPCs concurrently.
+* :mod:`repro.core.executor` — the execution engines (serial / threaded /
+  process) that fan out ``get_gradients`` / ``get_models`` RPCs concurrently;
+  the process engine pairs with :mod:`repro.network.rpc` to run every node as
+  its own OS subprocess speaking length-prefixed TCP.
 * :mod:`repro.core.metrics` — accuracy, throughput, latency breakdown and the
   parameter-vector alignment measurements of Table 2.
 * :mod:`repro.core.scenario` — declarative chaos scenarios: round-indexed
@@ -21,9 +23,10 @@ This package mirrors the component diagram of Figure 1 in the paper:
 """
 
 from repro.core.cluster import ClusterConfig
-from repro.core.controller import Controller, Deployment
+from repro.core.controller import Controller, Deployment, ProcessDeployment
 from repro.core.executor import (
     Executor,
+    ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
     available_executors,
@@ -60,7 +63,9 @@ __all__ = [
     "ClusterConfig",
     "Controller",
     "Deployment",
+    "ProcessDeployment",
     "Executor",
+    "ProcessExecutor",
     "SerialExecutor",
     "ThreadedExecutor",
     "available_executors",

@@ -72,6 +72,20 @@ class Deployment:
             self.trace.begin_round(iteration, events)
         return events
 
+    def close(self) -> None:
+        """Release runtime resources: pool threads and (for the process
+        backend) every node subprocess.  Idempotent.  In-process deployments
+        can be driven again afterwards (the executor lazily re-creates its
+        pool); a closed :class:`ProcessDeployment` is single-use — its node
+        subprocesses are gone and are not respawned."""
+        self.transport.close()
+
+    def __enter__(self) -> "Deployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     @property
     def honest_servers(self) -> List[Server]:
         return [s for s in self.servers if not isinstance(s, ByzantineServer)]
@@ -87,6 +101,30 @@ class Deployment:
         if not honest:
             raise ConfigurationError("deployment has no honest server to report from")
         return honest[0]
+
+
+@dataclass
+class ProcessDeployment(Deployment):
+    """A deployment whose nodes run as real OS subprocesses.
+
+    Built by the Controller for ``executor="process"``: every ``Server`` /
+    ``Worker`` is hosted by its own subprocess speaking the length-prefixed
+    TCP protocol of :mod:`repro.network.rpc`, while this object keeps the
+    coordinator-side planning state.  Use it as a context manager (or call
+    :meth:`Deployment.close`) so the process fleet is reaped deterministically.
+    """
+
+    @property
+    def backend(self):
+        """The :class:`~repro.network.rpc.SocketBackend` running the fleet."""
+        return self.transport.backend
+
+    def pids(self) -> Dict[str, Optional[int]]:
+        """OS pid per node id (``None`` for nodes currently down)."""
+        return {
+            node_id: self.backend.pid(node_id)
+            for node_id in self.transport.known_nodes()
+        }
 
 
 @dataclass
@@ -170,7 +208,16 @@ class Controller:
 
         failures = FailureInjector(seed=config.seed)
         executor = create_executor(config.executor, max_workers=config.executor_workers or None)
-        transport = Transport(failures=failures, seed=config.seed, executor=executor)
+        backend = None
+        if config.executor == "process":
+            # Imported lazily: the RPC layer pulls in subprocess machinery
+            # that in-process runs never need.
+            from repro.network.rpc import SocketBackend
+
+            backend = SocketBackend(config=config)
+        transport = Transport(
+            failures=failures, seed=config.seed, executor=executor, backend=backend
+        )
         for node_id, factor in config.straggler_factors.items():
             failures.set_straggler(node_id, factor)
 
@@ -181,7 +228,8 @@ class Controller:
         servers = self._build_servers(config, transport, experiment, test_set, device, framework, cost_model, workers)
 
         metrics = MetricsLog(deployment=config.deployment)
-        deployment = Deployment(
+        deployment_cls = Deployment if backend is None else ProcessDeployment
+        deployment = deployment_cls(
             config=config,
             transport=transport,
             experiment=experiment,
@@ -199,6 +247,11 @@ class Controller:
                 scenario=spec.name, deployment=config.deployment, seed=config.seed
             )
             deployment.director = ScenarioDirector(spec, deployment)
+        if backend is not None:
+            # Spawn the node subprocesses only after every node has
+            # registered its handlers (the hosts mirror that registry) and
+            # after the director validated the scenario against the cluster.
+            backend.start()
         return deployment
 
     # ------------------------------------------------------------------ #
@@ -299,9 +352,10 @@ class Controller:
         try:
             run_application(deployment)
         finally:
-            # Release pool threads; the executor lazily re-creates them if the
-            # deployment is driven again.
-            deployment.executor.shutdown()
+            # Release pool threads and any node subprocesses.  In-process
+            # deployments may be driven again (the pool is re-created
+            # lazily); process deployments are single-use after this.
+            deployment.close()
         return self.collect_result(deployment)
 
     # ------------------------------------------------------------------ #

@@ -15,6 +15,10 @@ This module provides the abstraction that fixes that:
   concurrently and their results are drained from a completion queue as they
   finish, which is what lets :meth:`repro.network.transport.Transport.pull_many`
   overlap the service times of independent peers.
+* :class:`ProcessExecutor` — the engine of the multi-process socket backend:
+  the same completion-queue draining, but each task is one blocking RPC to a
+  node subprocess (:mod:`repro.network.rpc`), so the handler work itself runs
+  in a separate OS process.
 
 Determinism contract
 --------------------
@@ -25,8 +29,8 @@ executor must therefore be pure with respect to shared randomness: anything
 stochastic is pre-sampled by the caller.
 
 ``create_executor(name)`` instantiates an engine from :data:`EXECUTOR_REGISTRY`
-(currently ``"serial"`` and ``"threaded"``), mirroring how GARs are built via
-:func:`repro.aggregators.base.init`.
+(``"serial"``, ``"threaded"`` and ``"process"``), mirroring how GARs are built
+via :func:`repro.aggregators.base.init`.
 """
 
 from __future__ import annotations
@@ -154,9 +158,27 @@ class ThreadedExecutor(Executor):
         return f"ThreadedExecutor(max_workers={self.max_workers})"
 
 
+class ProcessExecutor(ThreadedExecutor):
+    """Engine paired with the multi-process socket backend.
+
+    With ``executor="process"`` every node runs as its own OS subprocess
+    (:mod:`repro.network.rpc`), so the *work* of a fan-out — gradient
+    computation, model serving — happens outside this interpreter.  What
+    remains in the coordinator is blocking socket I/O, one RPC per
+    destination, which this engine overlaps on a thread pool exactly like
+    :class:`ThreadedExecutor` overlaps handler invocations.  Determinism is
+    unchanged: the transport pre-samples all randomness before dispatch and
+    the subprocesses are seeded from the same cluster config, so a fixed seed
+    yields the same canonical trace as the serial engine.
+    """
+
+    name = "process"
+
+
 EXECUTOR_REGISTRY: Dict[str, Type[Executor]] = {
     SerialExecutor.name: SerialExecutor,
     ThreadedExecutor.name: ThreadedExecutor,
+    ProcessExecutor.name: ProcessExecutor,
 }
 
 
@@ -177,6 +199,6 @@ def create_executor(name: str, max_workers: int | None = None) -> Executor:
             f"unknown executor '{name}'; available: {available_executors()}"
         )
     cls = EXECUTOR_REGISTRY[key]
-    if cls is ThreadedExecutor:
+    if issubclass(cls, ThreadedExecutor):
         return cls(max_workers=max_workers)
     return cls()

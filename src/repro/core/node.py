@@ -2,10 +2,16 @@
 
 from __future__ import annotations
 
+import pickle
 from typing import Optional
 
 from repro.network.cost import CPU, CostModel, Device, TENSORFLOW, FrameworkProfile
 from repro.network.transport import Transport
+
+#: Attributes never included in a state snapshot: the transport (and the
+#: serve lock guarding it) hold OS resources — locks, sockets, pool threads —
+#: owned by whichever process hosts the node.
+_SNAPSHOT_EXCLUDE = ("transport", "_serve_lock")
 
 
 class Node:
@@ -29,6 +35,29 @@ class Node:
         self.framework = framework
         self.cost_model = cost_model or CostModel(device=device, framework=framework)
         transport.register_node(node_id, self)
+
+    # ------------------------------------------------------------------ #
+    # State snapshots — the process backend's crash/recover continuity
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> bytes:
+        """Serialize every attribute that defines this node's behaviour.
+
+        Taken by the process backend right before it SIGKILLs a node host
+        (scenario ``crash``) and restored into the respawned host on
+        ``recover``, so a recovered node continues exactly where it stopped —
+        mini-batch cursor, momentum velocity, gradient cache, attack RNG —
+        matching the in-process backends' logical crash bit for bit.
+        """
+        state = {
+            key: value
+            for key, value in self.__dict__.items()
+            if key not in _SNAPSHOT_EXCLUDE
+        }
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def restore_state(self, blob: bytes) -> None:
+        """Apply a :meth:`snapshot_state` blob onto this (freshly built) node."""
+        self.__dict__.update(pickle.loads(blob))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(id={self.node_id!r}, device={self.device.name})"

@@ -290,12 +290,25 @@ class ScenarioDirector:
         self.applied.extend(applied)
         return applied
 
+    @property
+    def _backend(self):
+        """The transport's delivery backend, target of process-level control.
+
+        For in-process backends every ``apply_control`` is a no-op; the
+        socket backend maps ``crash`` onto snapshot + SIGKILL of the node's
+        subprocess, ``recover`` onto respawn + state restore, and attack
+        toggles onto control RPCs to the hosting process.
+        """
+        return self.deployment.transport.backend
+
     def _apply_event(self, event: ScenarioEvent) -> None:
         action = event.action
         if action == "crash":
             self.failures.crash(event.target)
+            self._backend.apply_control(event.target, "crash")
         elif action == "recover":
             self.failures.recover(event.target)
+            self._backend.apply_control(event.target, "recover")
         elif action == "straggler":
             self.failures.set_straggler(event.target, float(event.value))
         elif action == "clear_straggler":
@@ -312,7 +325,9 @@ class ScenarioDirector:
             self._set_attacks(event, active=False)
         elif action == "byzantine_count":
             for index, worker in enumerate(self.byzantine_workers):
-                worker.attack_active = index < event.value
+                active = index < event.value
+                worker.attack_active = active
+                self._backend.apply_control(worker.node_id, "set_attack", active=active)
         else:  # pragma: no cover - unreachable, ACTIONS is validated upstream
             raise ConfigurationError(f"unhandled scenario action '{action}'")
 
@@ -323,16 +338,26 @@ class ScenarioDirector:
             nodes = [node for node in nodes if node.node_id == event.target]
         seed = self.deployment.config.seed
         for node in nodes:
+            attack_seed = None
             if active and event.value is not None:
                 # Seed from the node's position in the full Byzantine roster
                 # (not the filtered target list), so same-round per-target
                 # events still give distinct nodes uncorrelated attack RNGs
                 # while staying deterministic across executors.
                 index = all_nodes.index(node)
-                node.attack = build_attack(
-                    event.value, seed=seed + 131 * event.round + 17 * index
-                )
+                attack_seed = seed + 131 * event.round + 17 * index
+                node.attack = build_attack(event.value, seed=attack_seed)
             node.attack_active = active
+            # Mirror the toggle into the node's subprocess (no-op in-process);
+            # the resolved seed ships with it so the remote attack RNG starts
+            # from exactly the same state as the local rebuild above.
+            self._backend.apply_control(
+                node.node_id,
+                "set_attack",
+                active=active,
+                attack=event.value if attack_seed is not None else None,
+                seed=attack_seed if attack_seed is not None else 0,
+            )
 
 
 # ---------------------------------------------------------------------- #

@@ -77,9 +77,10 @@ class Server(Node):
         self.last_gradient_sources: List[str] = []
         self.last_update_norm: Optional[float] = None
 
-        #: Latest aggregated gradient — served to peers during the
-        #: decentralized *contract* step (Listing 3).
-        self.latest_aggr_grad: Optional[np.ndarray] = None
+        # Latest aggregated gradient — served to peers during the
+        # decentralized *contract* step (Listing 3); exposed through the
+        # ``latest_aggr_grad`` property so assignments reach remote replicas.
+        self._latest_aggr_grad: Optional[np.ndarray] = None
 
         transport.register_handler(node_id, "model", self._serve_model)
         transport.register_handler(node_id, "aggregated_gradient", self._serve_aggregated_gradient)
@@ -100,6 +101,26 @@ class Server(Node):
         """The current model state as one flat vector."""
         return get_flat_parameters(self.model)
 
+    @property
+    def latest_aggr_grad(self) -> Optional[np.ndarray]:
+        """Latest published aggregate (decentralized contract step)."""
+        return self._latest_aggr_grad
+
+    @latest_aggr_grad.setter
+    def latest_aggr_grad(self, value: Optional[np.ndarray]) -> None:
+        self._latest_aggr_grad = value
+        self.transport.sync_node_state(self.node_id, "aggr_grad", value)
+
+    def _sync_served_state(self) -> None:
+        """Mirror the model state to this node's remote replica (if any).
+
+        In-process backends serve pulls straight from this object, so the
+        call is free; under the process backend the hosting subprocess must
+        observe every mutation before a peer can pull it.
+        """
+        if self.transport.backend.needs_state_sync:
+            self.transport.sync_node_state(self.node_id, "params", self.flat_parameters())
+
     def write_model(self, flat_model: np.ndarray) -> None:
         """Overwrite the model state (used after aggregating replica models)."""
         flat_model = np.asarray(flat_model, dtype=np.float64)
@@ -109,6 +130,7 @@ class Server(Node):
                 f"model has {self.dimension}"
             )
         set_flat_parameters(self.model, flat_model)
+        self._sync_served_state()
 
     def update_model(self, aggregated_gradient: np.ndarray) -> None:
         """Apply one SGD step using the aggregated gradient (Equation 2)."""
@@ -118,6 +140,7 @@ class Server(Node):
         self.optimizer.apply_flat_gradient(aggregated_gradient)
         self.last_update_norm = float(np.linalg.norm(aggregated_gradient))
         self.iterations_run += 1
+        self._sync_served_state()
 
     # ------------------------------------------------------------------ #
     # Networking abstractions

@@ -6,6 +6,16 @@ data from one peer (:meth:`Transport.pull`) or from many peers in parallel
 (:meth:`Transport.pull_many`), receiving the fastest ``quorum`` replies — the
 exact semantics required by ``get_gradients(t, q)`` / ``get_models(q)``.
 
+Where a handler actually *runs* is the backend's business: the
+:class:`TransportBackend` interface separates the transport's protocol logic
+(planning, failure injection, quorum draining, accounting) from handler
+delivery.  :class:`InProcessBackend` invokes the registered callable directly
+— the serial and threaded executors both use it — while
+:class:`repro.network.rpc.SocketBackend` forwards the invocation over a
+length-prefixed TCP connection to the subprocess hosting the destination node
+(``executor="process"``).  Everything above the backend is identical, which
+is what the cross-backend conformance suite locks down.
+
 Two layers of "time" coexist here:
 
 * **Simulated time** — each reply's latency combines a sampled link latency,
@@ -41,6 +51,79 @@ from repro.network.serialization import serialized_nbytes
 from repro.utils import make_rng
 
 Handler = Callable[[RequestContext], Any]
+
+
+class TransportBackend:
+    """Where handler invocations run: in this process or across a socket.
+
+    The transport owns *protocol* concerns — per-destination planning, the
+    failure injector, quorum selection, stats — and delegates *delivery* to a
+    backend.  Implementations must keep :meth:`invoke` deterministic for a
+    given request (all randomness is pre-sampled by the transport before
+    dispatch) and must translate a peer dying mid-invocation into
+    :class:`~repro.exceptions.NodeCrashedError`, the same type the in-process
+    path raises for crashed peers.
+    """
+
+    name: str = "abstract"
+    #: Whether servers must push handler-visible state mutations (model
+    #: parameters, published aggregates) through :meth:`sync_state` so remote
+    #: replicas of the node serve fresh data.  False for in-process delivery
+    #: (handlers read live objects), True for the socket backend.
+    needs_state_sync: bool = False
+
+    def __init__(self) -> None:
+        # Every backend keeps the registration table: the in-process backend
+        # invokes these callables directly, the socket backend uses the same
+        # table as its planning-side mirror of what each host serves.
+        self._handlers: Dict[Tuple[str, str], Handler] = {}
+
+    def register_handler(self, node_id: str, kind: str, handler: Handler) -> None:
+        self._handlers[(node_id, kind)] = handler
+
+    def has_handler(self, node_id: str, kind: str) -> bool:
+        return (node_id, kind) in self._handlers
+
+    def node_handlers(self, node_id: str) -> Dict[str, Handler]:
+        """All handlers of one node — what a process host serves over TCP."""
+        return {
+            kind: handler
+            for (owner, kind), handler in self._handlers.items()
+            if owner == node_id
+        }
+
+    def invoke(self, node_id: str, kind: str, context: RequestContext) -> Any:
+        """Run the ``kind`` handler of ``node_id`` and return its response."""
+        raise NotImplementedError
+
+    def start(self) -> None:
+        """Bring the backend up (spawn subprocesses...); idempotent."""
+
+    def close(self) -> None:
+        """Release backend resources (terminate subprocesses...); idempotent."""
+
+    def sync_state(self, node_id: str, what: str, vector: Any) -> None:
+        """Mirror a server-side state mutation to the node's remote replica."""
+
+    def apply_control(self, node_id: str, op: str, **params: Any) -> None:
+        """Forward a scenario control event (crash, recover, set_attack...)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class InProcessBackend(TransportBackend):
+    """Default delivery: handlers are closures invoked on the calling thread
+    (or an executor pool thread during a fan-out)."""
+
+    name = "inprocess"
+    needs_state_sync = False
+
+    def invoke(self, node_id: str, kind: str, context: RequestContext) -> Any:
+        handler = self._handlers.get((node_id, kind))
+        if handler is None:
+            raise CommunicationError(f"node '{node_id}' serves no '{kind}' requests")
+        return handler(context)
 
 
 @dataclass
@@ -99,7 +182,6 @@ class _PlannedPull:
     """One pre-sampled pull, ready to be dispatched to an executor."""
 
     destination: str
-    handler: Handler
     jitter: float
     factor: float
 
@@ -130,6 +212,7 @@ class Transport:
         seed: int = 0,
         executor: Optional["Executor"] = None,
         wall_time_scale: float = 0.0,
+        backend: Optional[TransportBackend] = None,
     ) -> None:
         # Imported lazily: repro.core.__init__ pulls in modules that import
         # this one, so a module-level import would be circular.
@@ -137,15 +220,17 @@ class Transport:
 
         if executor is not None and not isinstance(executor, Executor):
             raise CommunicationError("executor must be a repro.core.executor.Executor")
+        if backend is not None and not isinstance(backend, TransportBackend):
+            raise CommunicationError("backend must be a TransportBackend")
         if wall_time_scale < 0:
             raise CommunicationError("wall_time_scale must be non-negative")
         self.link = link or LinkModel()
         self.failures = failures or FailureInjector(seed=seed)
         self.stats = TransportStats()
         self.executor = executor or SerialExecutor()
+        self.backend = backend or InProcessBackend()
         self.wall_time_scale = wall_time_scale
         self._rng = make_rng(seed)
-        self._handlers: Dict[Tuple[str, str], Handler] = {}
         self._nodes: Dict[str, object] = {}
 
     # ------------------------------------------------------------------ #
@@ -159,13 +244,32 @@ class Transport:
 
     def register_handler(self, node_id: str, kind: str, handler: Handler) -> None:
         """Register the server-side handler answering pulls of ``kind`` at ``node_id``."""
-        self._handlers[(node_id, kind)] = handler
+        self.backend.register_handler(node_id, kind, handler)
 
     def known_nodes(self) -> List[str]:
         return sorted(self._nodes)
 
+    def get_node(self, node_id: str) -> object:
+        """The node object registered under ``node_id`` (KeyError if unknown)."""
+        return self._nodes[node_id]
+
     def has_handler(self, node_id: str, kind: str) -> bool:
-        return (node_id, kind) in self._handlers
+        return self.backend.has_handler(node_id, kind)
+
+    def sync_node_state(self, node_id: str, what: str, vector) -> None:
+        """Mirror a handler-visible state mutation to the node's remote replica.
+
+        A no-op for in-process delivery (handlers read the live object); the
+        socket backend forwards the new state to the hosting subprocess so
+        peer pulls observe exactly what the in-process path would.
+        """
+        if self.backend.needs_state_sync:
+            self.backend.sync_state(node_id, what, vector)
+
+    def close(self) -> None:
+        """Shut down the delivery backend and the execution engine."""
+        self.backend.close()
+        self.executor.shutdown()
 
     def use_executor(self, executor: "Executor") -> None:
         """Swap the execution engine used by :meth:`pull_many`.
@@ -212,8 +316,7 @@ class Transport:
         self.stats.pulls_issued += 1
         if self.failures.is_crashed(destination):
             raise NodeCrashedError(f"node '{destination}' has crashed")
-        handler = self._handlers.get((destination, kind))
-        if handler is None:
+        if not self.backend.has_handler(destination, kind):
             raise CommunicationError(f"node '{destination}' serves no '{kind}' requests")
         if self.failures.is_unreachable(source, destination):
             return None  # partitioned away: lost without consuming drop randomness
@@ -221,7 +324,6 @@ class Transport:
             return None
         return _PlannedPull(
             destination=destination,
-            handler=handler,
             jitter=self.link.sample_jitter(self._rng),
             factor=self.failures.latency_factor(destination),
         )
@@ -241,7 +343,7 @@ class Transport:
         run concurrently with other destinations' handlers.
         """
         context = RequestContext(requester=source, iteration=iteration, payload=payload)
-        response = planned.handler(context)
+        response = self.backend.invoke(planned.destination, kind, context)
         nbytes = self._payload_nbytes(response)
         latency = self.link.latency_from_jitter(planned.jitter, nbytes, planned.factor)
         self._maybe_wall_wait(latency)
@@ -253,6 +355,27 @@ class Transport:
             latency=latency,
             nbytes=nbytes,
         )
+
+    def _serve_or_lost(
+        self,
+        planned: _PlannedPull,
+        source: str,
+        kind: str,
+        iteration: int,
+        payload: Any,
+    ) -> Optional[Reply]:
+        """Fan-out task body: a peer crashing mid-reply yields a lost message.
+
+        Regression guard for the quorum accounting: a peer that straggles and
+        then dies while its (slow) reply is in flight must reduce the usable
+        count by exactly one.  The serial/threaded backends cannot hit this
+        path (crashes are planned away at round boundaries), but over real
+        sockets a SIGKILL can land at any instant.
+        """
+        try:
+            return self._serve(planned, source, kind, iteration, payload)
+        except NodeCrashedError:
+            return None
 
     def pull(
         self,
@@ -322,23 +445,32 @@ class Transport:
                 planned.append(plan)
 
         # Phase 2 — dispatch all handler invocations through the executor and
-        # drain its completion queue.
+        # drain its completion queue.  A peer may die *between* planning and
+        # serving (over real sockets a SIGKILLed subprocess surfaces as a
+        # connection reset, i.e. NodeCrashedError): such a peer is classified
+        # as lost exactly once — its own reply is discarded, nothing else.
+        # Propagating the error instead would charge the crash against the
+        # whole fan-out and fail rounds that still hold a full quorum.
         tasks = [
-            (lambda p=plan: self._serve(p, source, kind, iteration, payload))
+            (lambda p=plan: self._serve_or_lost(p, source, kind, iteration, payload))
             for plan in planned
         ]
         collected: List[Optional[Reply]] = [None] * len(tasks)
         for index, reply in self.executor.map_unordered(tasks):
             collected[index] = reply
 
-        # Phase 3 — account in destination order (stable regardless of the
-        # engine), then select the fastest quorum by simulated latency.
+        # Phase 3 — classify each planned pull exactly once, in destination
+        # order (stable regardless of the engine): lost mid-reply, silent
+        # (Byzantine drop), infinitely late, or usable.  Only usable replies
+        # count towards the quorum; every served reply is accounted.
         replies: List[Reply] = []
         for reply in collected:
-            assert reply is not None
+            if reply is None:  # peer crashed mid-reply: lost, counted once
+                continue
             self.stats.record(reply.kind, reply.nbytes, reply.latency)
-            if not reply.is_silent and np.isfinite(reply.latency):
-                replies.append(reply)
+            if reply.is_silent or not np.isfinite(reply.latency):
+                continue
+            replies.append(reply)
         if len(replies) < quorum:
             raise TimeoutError(
                 f"only {len(replies)} usable replies for '{kind}' at iteration {iteration}, "

@@ -1,0 +1,243 @@
+"""Length-prefixed wire protocol for the multi-process socket backend.
+
+This is the byte-level layer under :mod:`repro.network.rpc`: where the
+in-process backend passes Python objects between nodes by reference, the
+process backend must move every request and reply through a real TCP socket,
+which means framing (so a reader knows where one message ends) and a
+deterministic value codec (so tensors survive the crossing bit-exactly).
+
+Two layers live here:
+
+* **Framing** — every message is ``MAGIC + u32 length + body``.
+  :func:`send_frame` writes a frame with ``sendall``; :func:`recv_frame`
+  reassembles one from however many partial ``recv`` calls the kernel decides
+  to serve (1-byte dribbles included — see ``tests/network/test_wire.py``).
+  A clean EOF *between* frames raises :class:`ConnectionClosed`; an EOF
+  *inside* a frame (peer died mid-reply) raises the plain
+  :class:`~repro.exceptions.CommunicationError` so callers can map it onto
+  the crash semantics of the in-process path.
+* **Value codec** — :func:`encode_value` / :func:`decode_value` serialize the
+  payload vocabulary of the transport (``None``, bool, int, float, str,
+  bytes, float64 ``ndarray`` via :mod:`repro.network.serialization`, and
+  lists / string-keyed dicts of those, recursively).  The encoding is
+  canonical — the same value always produces the same bytes — which is what
+  lets the cross-backend golden suite demand byte-identical traces.
+
+The framing deliberately does not compress or checksum: payloads are trusted
+(the coordinator spawned every peer) and the golden suite catches corruption
+far more loudly than a CRC would.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.exceptions import CommunicationError
+from repro.network.serialization import deserialize_vector, serialize_vector
+
+#: Frame preamble: marks the start of every message on the wire.
+FRAME_MAGIC = b"GWP1"
+
+#: Frame header: magic + unsigned 32-bit big-endian body length.
+_FRAME_HEADER = struct.Struct("!4sI")
+
+#: Upper bound on one frame body (1 GiB) — a corrupted length prefix fails
+#: loudly instead of attempting a gigantic allocation.
+MAX_FRAME_BYTES = 1 << 30
+
+_U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
+_I64 = struct.Struct("!q")
+_F64 = struct.Struct("!d")
+
+#: Value-codec tags (one byte each).
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"D"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+_TAG_ARRAY = b"A"
+_TAG_LIST = b"L"
+_TAG_DICT = b"M"
+
+
+class ConnectionClosed(CommunicationError):
+    """The peer closed the connection cleanly at a frame boundary."""
+
+
+# ---------------------------------------------------------------------- #
+# Value codec
+# ---------------------------------------------------------------------- #
+def _encode_into(value: Any, out: List[bytes]) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        out.append(_TAG_INT + _I64.pack(value))
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT + _F64.pack(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_TAG_STR + _U32.pack(len(raw)))
+        out.append(raw)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_TAG_BYTES + _U64.pack(len(value)))
+        out.append(bytes(value))
+    elif isinstance(value, np.ndarray):
+        blob = serialize_vector(value)
+        out.append(_TAG_ARRAY + _U64.pack(len(blob)))
+        out.append(blob)
+    elif isinstance(value, np.generic):  # numpy scalar: send as plain float/int
+        _encode_into(value.item(), out)
+    elif isinstance(value, (list, tuple)):
+        out.append(_TAG_LIST + _U32.pack(len(value)))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        out.append(_TAG_DICT + _U32.pack(len(value)))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CommunicationError(
+                    f"wire dicts need string keys, got {type(key).__name__}"
+                )
+            raw = key.encode("utf-8")
+            out.append(_U32.pack(len(raw)))
+            out.append(raw)
+            _encode_into(item, out)
+    else:
+        raise CommunicationError(
+            f"type {type(value).__name__} is not encodable on the wire"
+        )
+
+
+def encode_value(value: Any) -> bytes:
+    """Serialize one payload value into its canonical byte form."""
+    out: List[bytes] = []
+    _encode_into(value, out)
+    return b"".join(out)
+
+
+class _Reader:
+    """Cursor over a received frame body, validating every read length."""
+
+    __slots__ = ("blob", "offset")
+
+    def __init__(self, blob: bytes) -> None:
+        self.blob = blob
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        end = self.offset + count
+        if end > len(self.blob):
+            raise CommunicationError("truncated wire value")
+        chunk = self.blob[self.offset : end]
+        self.offset = end
+        return chunk
+
+    def decode(self) -> Any:
+        tag = self.take(1)
+        if tag == _TAG_NONE:
+            return None
+        if tag == _TAG_TRUE:
+            return True
+        if tag == _TAG_FALSE:
+            return False
+        if tag == _TAG_INT:
+            return _I64.unpack(self.take(8))[0]
+        if tag == _TAG_FLOAT:
+            return _F64.unpack(self.take(8))[0]
+        if tag == _TAG_STR:
+            (length,) = _U32.unpack(self.take(4))
+            return self.take(length).decode("utf-8")
+        if tag == _TAG_BYTES:
+            (length,) = _U64.unpack(self.take(8))
+            return self.take(length)
+        if tag == _TAG_ARRAY:
+            (length,) = _U64.unpack(self.take(8))
+            return deserialize_vector(self.take(length))
+        if tag == _TAG_LIST:
+            (count,) = _U32.unpack(self.take(4))
+            return [self.decode() for _ in range(count)]
+        if tag == _TAG_DICT:
+            (count,) = _U32.unpack(self.take(4))
+            result: Dict[str, Any] = {}
+            for _ in range(count):
+                (key_len,) = _U32.unpack(self.take(4))
+                key = self.take(key_len).decode("utf-8")
+                result[key] = self.decode()
+            return result
+        raise CommunicationError(f"unknown wire tag {tag!r}")
+
+
+def decode_value(blob: bytes) -> Any:
+    """Inverse of :func:`encode_value`; rejects trailing garbage."""
+    reader = _Reader(blob)
+    value = reader.decode()
+    if reader.offset != len(blob):
+        raise CommunicationError(
+            f"{len(blob) - reader.offset} trailing bytes after wire value"
+        )
+    return value
+
+
+# ---------------------------------------------------------------------- #
+# Framing
+# ---------------------------------------------------------------------- #
+def send_frame(sock: socket.socket, body: bytes) -> None:
+    """Write one length-prefixed frame (header and body in a single sendall)."""
+    if len(body) > MAX_FRAME_BYTES:
+        raise CommunicationError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    sock.sendall(_FRAME_HEADER.pack(FRAME_MAGIC, len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, count: int, *, at_boundary: bool) -> bytes:
+    """Read exactly ``count`` bytes, looping over however many recvs it takes."""
+    chunks: List[bytes] = []
+    received = 0
+    while received < count:
+        chunk = sock.recv(min(count - received, 1 << 16))
+        if not chunk:
+            if at_boundary and not chunks:
+                raise ConnectionClosed("peer closed the connection")
+            raise CommunicationError(
+                f"connection lost mid-frame ({received} of {count} bytes read)"
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    """Reassemble one frame body, tolerating arbitrarily fragmented reads."""
+    header = _recv_exact(sock, _FRAME_HEADER.size, at_boundary=True)
+    magic, length = _FRAME_HEADER.unpack(header)
+    if magic != FRAME_MAGIC:
+        raise CommunicationError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise CommunicationError(
+            f"frame announces {length} bytes, over the {MAX_FRAME_BYTES}-byte limit"
+        )
+    if length == 0:
+        return b""
+    return _recv_exact(sock, length, at_boundary=False)
+
+
+def send_message(sock: socket.socket, message: Any) -> None:
+    """Encode ``message`` with the value codec and send it as one frame."""
+    send_frame(sock, encode_value(message))
+
+
+def recv_message(sock: socket.socket) -> Any:
+    """Receive one frame and decode it with the value codec."""
+    return decode_value(recv_frame(sock))

@@ -79,6 +79,23 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
+    # ------------------------------------------------------------------ #
+    # Pickling — used by the process backend's node snapshots
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        """Pickle the value state only, dropping the autograd graph.
+
+        Backward closures capture the dynamic graph of one forward pass and
+        cannot cross a process boundary; the graph is rebuilt on the next
+        forward pass anyway, so snapshots only need data / grad / flags.
+        """
+        return (self.data, self.grad, self.requires_grad, self.name)
+
+    def __setstate__(self, state) -> None:
+        self.data, self.grad, self.requires_grad, self.name = state
+        self._backward = lambda grad: None
+        self._parents = ()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
 

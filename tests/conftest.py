@@ -23,6 +23,28 @@ def update_golden(request):
 
 
 @pytest.fixture
+def require_process_backend():
+    """Callable fixture: skip when the sandbox forbids subprocesses/sockets.
+
+    Tests call it *inside* their body (``require_process_backend()``) so only
+    the process-backend parameter of a cross-backend test is skipped, never
+    its serial/threaded siblings.  The skip reason always carries the probe's
+    explanation, so a skipped process-backend run is diagnosable from the
+    test report alone (``tests/network/test_rpc_conformance.py`` asserts this
+    contract).
+    """
+
+    def check() -> None:
+        from repro.network.rpc import process_backend_available
+
+        available, reason = process_backend_available()
+        if not available:
+            pytest.skip(f"process backend unavailable: {reason}")
+
+    return check
+
+
+@pytest.fixture
 def tiny_dataset():
     """A small, easy synthetic dataset (flat 4x4 single-channel images, 4 classes)."""
     return make_classification(120, (1, 4, 4), num_classes=4, noise=0.3, seed=3)

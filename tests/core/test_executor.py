@@ -44,17 +44,28 @@ def build_transport(num_nodes=9, seed=0, executor=None, dimension=16):
 
 
 class TestExecutorEngines:
-    def test_registry_contains_both_engines(self):
-        assert available_executors() == ["serial", "threaded"]
+    def test_registry_contains_all_engines(self):
+        from repro.core.executor import ProcessExecutor
+
+        assert available_executors() == ["process", "serial", "threaded"]
         assert EXECUTOR_REGISTRY["serial"] is SerialExecutor
         assert EXECUTOR_REGISTRY["threaded"] is ThreadedExecutor
+        assert EXECUTOR_REGISTRY["process"] is ProcessExecutor
 
     def test_create_executor_by_name(self):
+        from repro.core.executor import ProcessExecutor
+
         assert isinstance(create_executor("serial"), SerialExecutor)
         threaded = create_executor("threaded", max_workers=4)
         assert isinstance(threaded, ThreadedExecutor)
         assert threaded.max_workers == 4
         threaded.shutdown()
+        # The process engine drains blocking RPCs on a pool, so it accepts
+        # the same worker sizing as the threaded engine.
+        process = create_executor("process", max_workers=3)
+        assert isinstance(process, ProcessExecutor)
+        assert process.max_workers == 3
+        process.shutdown()
 
     def test_create_executor_unknown_name(self):
         with pytest.raises(ValueError):

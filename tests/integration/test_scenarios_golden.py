@@ -1,13 +1,18 @@
 """Golden-trace regression suite for the bundled chaos scenarios.
 
 Every bundled scenario (:data:`repro.core.scenario.SCENARIO_LIBRARY`) is run
-end to end under **both** execution engines at its pinned seed; the resulting
-:class:`~repro.core.metrics.Trace` must
+end to end under **all three** execution backends at its pinned seed — the
+serial and threaded in-process engines and the multi-process socket backend
+(one OS subprocess per node, ``executor="process"``).  The resulting
+:class:`~repro.core.metrics.Trace` must be byte-identical to the checked-in
+golden trace under ``tests/integration/golden/`` for every backend: since all
+backends are compared against the same file, this also pins the
+cross-backend equivalence claim (a fixed seed yields the *same canonical
+trace JSON* no matter where the handlers physically run).
 
-1. be byte-identical between the serial and the threaded executor
-   (the determinism contract of :mod:`repro.core.executor` extended to
-   dynamically injected failures), and
-2. match the checked-in golden trace under ``tests/integration/golden/``.
+The process-backend leg is skipped gracefully — with the probe's reason in
+the skip message — in sandboxes that forbid subprocesses or sockets; see
+``require_process_backend`` in ``tests/conftest.py``.
 
 Golden traces are re-blessed *explicitly* and never silently::
 
@@ -30,6 +35,16 @@ from repro.core.metrics import Trace
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
+#: One parameter per backend; the process leg is filterable via ``--backend``
+#: and marked slow (it spawns one subprocess per node of every scenario).
+BACKEND_PARAMS = [
+    pytest.param("serial", marks=pytest.mark.backend("serial")),
+    pytest.param("threaded", marks=pytest.mark.backend("threaded")),
+    pytest.param(
+        "process", marks=[pytest.mark.backend("process"), pytest.mark.slow]
+    ),
+]
+
 
 def run_scenario(name: str, executor: str) -> Trace:
     config = config_for_scenario(name, executor=executor)
@@ -40,27 +55,31 @@ def run_scenario(name: str, executor: str) -> Trace:
 
 class TestGoldenTraces:
     @pytest.mark.parametrize("name", available_scenarios())
-    def test_trace_is_executor_invariant_and_matches_golden(self, name, update_golden):
-        serial = run_scenario(name, "serial")
-        threaded = run_scenario(name, "threaded")
-        assert serial.to_json() == threaded.to_json(), (
-            f"scenario '{name}' produced different traces under the serial and "
-            "threaded executors — the determinism contract is broken"
-        )
+    @pytest.mark.parametrize("executor", BACKEND_PARAMS)
+    def test_trace_matches_golden_on_every_backend(
+        self, name, executor, update_golden, require_process_backend
+    ):
+        """Each backend reproduces the exact golden trace, byte for byte."""
+        if update_golden and executor != "serial":
+            pytest.skip("golden traces are re-blessed from the serial backend only")
+        if executor == "process":
+            require_process_backend()
+        trace = run_scenario(name, executor)
 
         path = GOLDEN_DIR / f"{name}.json"
         if update_golden:
             GOLDEN_DIR.mkdir(exist_ok=True)
-            path.write_text(serial.to_json(), encoding="utf-8")
+            path.write_text(trace.to_json(), encoding="utf-8")
             return
         assert path.is_file(), (
             f"missing golden trace {path}; bless it explicitly with "
             "'make update-golden'"
         )
-        assert serial.to_json() == path.read_text(encoding="utf-8"), (
-            f"scenario '{name}' no longer reproduces its golden trace; if the "
-            "change is intentional, re-bless with 'make update-golden' and "
-            "review the diff"
+        assert trace.to_json() == path.read_text(encoding="utf-8"), (
+            f"scenario '{name}' no longer reproduces its golden trace under the "
+            f"'{executor}' backend; if the change is intentional, re-bless with "
+            "'make update-golden' and review the diff — if only this backend "
+            "diverges, the cross-backend determinism contract is broken"
         )
 
     def test_every_bundled_scenario_has_a_golden_trace(self, update_golden):
@@ -107,3 +126,27 @@ class TestScenarioCLI:
         if golden.is_file():
             # The CLI run must reproduce the exact golden trace as well.
             assert stored.to_json() == golden.read_text(encoding="utf-8")
+
+    @pytest.mark.backend("process")
+    @pytest.mark.slow
+    def test_run_process_executor_via_cli(
+        self, capsys, tmp_path, require_process_backend
+    ):
+        """``repro run --executor process`` reproduces the golden trace too."""
+        require_process_backend()
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "run",
+                "--scenario",
+                "calm_baseline",
+                "--executor",
+                "process",
+                "--trace-output",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        stored = Trace.load(trace_path)
+        golden = GOLDEN_DIR / "calm_baseline.json"
+        assert stored.to_json() == golden.read_text(encoding="utf-8")

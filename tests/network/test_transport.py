@@ -153,6 +153,74 @@ class TestPullMany:
             transport.pull_many("node-0", peers, "value", quorum=5)
 
 
+class TestQuorumBoundary:
+    """Regression guard: an unusable peer is counted against the quorum
+    denominator exactly once, even when it fails in several ways at once.
+
+    Over real sockets a peer can straggle (its slow reply still in flight)
+    and then be dropped mid-reply (SIGKILL → connection reset, surfacing as
+    NodeCrashedError from the serve task).  The fan-out used to propagate
+    that error and cancel everything — charging the one dead peer against
+    the entire round — instead of excluding just its own reply.
+    """
+
+    ALL = [f"node-{i}" for i in range(6)]
+
+    def test_peer_lost_mid_reply_is_excluded_exactly_once_at_n_minus_f(self):
+        # n = 6, f = 1: five usable peers, quorum of exactly n - f = 5.
+        transport = build_cluster(6, seed=2)
+        transport.failures.set_straggler("node-5", 50.0)  # it straggles...
+        transport.register_handler(
+            "node-5",
+            "value",
+            lambda ctx: (_ for _ in ()).throw(NodeCrashedError("killed mid-reply")),
+        )  # ...and is dropped while its reply is in flight
+        replies, elapsed = transport.pull_many("src", self.ALL, "value", quorum=5)
+        assert len(replies) == 5
+        assert "node-5" not in {r.source for r in replies}
+        assert elapsed == replies[-1].latency
+
+    def test_straggling_and_link_dropped_peer_counts_once_at_n_minus_f(self):
+        # Seed chosen so the lossy link drops exactly the straggler's message:
+        # the peer is both straggling and dropped, yet exactly n - f = 5
+        # usable replies remain and the quorum is met.
+        transport = build_cluster(6, seed=49, drop_probability=0.3)
+        transport.failures.set_straggler("node-5", 50.0)
+        probe = FailureInjector(seed=49, drop_probability=0.3)
+        assert [probe.should_drop() for _ in range(6)] == [False] * 5 + [True]
+        replies, _ = transport.pull_many("src", self.ALL, "value", quorum=5)
+        assert len(replies) == 5
+        assert "node-5" not in {r.source for r in replies}
+
+    def test_one_reply_short_of_quorum_reports_exact_usable_count(self):
+        transport = build_cluster(6, seed=2)
+        transport.register_handler(
+            "node-5",
+            "value",
+            lambda ctx: (_ for _ in ()).throw(NodeCrashedError("killed mid-reply")),
+        )
+        with pytest.raises(TimeoutError, match="only 5 usable"):
+            transport.pull_many("src", self.ALL, "value", quorum=6)
+
+    def test_mid_reply_loss_does_not_cancel_sibling_tasks_under_threads(self):
+        from repro.core.executor import ThreadedExecutor
+
+        transport = build_cluster(6, seed=2)
+        transport.use_executor(ThreadedExecutor(max_workers=6))
+        transport.register_handler(
+            "node-2",
+            "value",
+            lambda ctx: (_ for _ in ()).throw(NodeCrashedError("killed mid-reply")),
+        )
+        try:
+            replies, _ = transport.pull_many("src", self.ALL, "value", quorum=5)
+        finally:
+            transport.executor.shutdown()
+        assert sorted(r.source for r in replies) == [
+            "node-0", "node-1", "node-3", "node-4", "node-5",
+        ]
+
+
 class TestLinkModel:
     def test_latency_grows_with_message_size(self):
         link = LinkModel(base_latency=1e-3, jitter=0.0, bandwidth_bytes_per_s=1e6)
