@@ -6,6 +6,8 @@
 #                         serial / threaded / process backends
 #   make update-golden  — explicitly re-bless the golden scenario traces
 #   make bench-smoke    — the async fastest-q speedup benchmark (~10 s)
+#   make bench-hotpath  — zero-copy pipeline vs legacy copy chain; writes
+#                         BENCH_hotpath.json and checks the acceptance bar
 #   make bench          — the full figure-reproduction benchmark suite (minutes)
 #   make docs-check     — validate README/docs links and path references
 #   make quickstart     — run the Listing 1 end-to-end example
@@ -13,7 +15,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-scenarios test-backends update-golden bench-smoke bench docs-check quickstart
+.PHONY: test test-scenarios test-backends update-golden bench-smoke bench-hotpath bench docs-check quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,6 +32,9 @@ update-golden:
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_async_speedup.py
+
+bench-hotpath:
+	$(PYTHON) benchmarks/bench_hotpath.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s

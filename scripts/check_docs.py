@@ -26,7 +26,13 @@ from typing import Iterator, List, Tuple
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Documents that make up the documentation surface.
-DOCUMENTS = ("README.md", "docs/architecture.md", "docs/benchmarks.md", "docs/scenarios.md")
+DOCUMENTS = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/benchmarks.md",
+    "docs/scenarios.md",
+    "docs/performance.md",
+)
 
 #: Top-level directories a backtick path may point into (plus lone files).
 PATH_PREFIXES = ("src/", "benchmarks/", "tests/", "examples/", "docs/", "scripts/")

@@ -13,21 +13,38 @@ path) — the distances are computed exactly once.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import threading
+import weakref
 from collections import OrderedDict
-from typing import Callable, Dict, List, Sequence, Tuple, Type
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
 from repro.exceptions import AggregationError, ResilienceConditionError
 
 
-def as_matrix(vectors: Sequence[np.ndarray]) -> np.ndarray:
-    """Stack a sequence of 1-D vectors into a (q, d) float64 matrix.
+def as_matrix(vectors) -> np.ndarray:
+    """View ``vectors`` as a (q, d) float64 matrix, copying only when needed.
 
-    Raises :class:`AggregationError` when the list is empty or the vectors
-    disagree on dimension.
+    This is the one shared restacking helper of the codebase (GARs, attacks,
+    the variance tool and the alignment probe all route through it).  An
+    already-contiguous float64 ``(q, d)`` array — e.g. a
+    :class:`~repro.network.transport.RoundBuffer` view — is returned as-is
+    with zero copies (including its read-only flag); anything else is stacked
+    into a fresh matrix.  Raises :class:`AggregationError` when the input is
+    empty or rows disagree on dimension.
     """
+    if isinstance(vectors, np.ndarray):
+        if vectors.ndim != 2:
+            raise AggregationError(
+                f"matrix input must be 2-D (q, d), got ndim={vectors.ndim}"
+            )
+        if vectors.shape[0] == 0:
+            raise AggregationError("cannot aggregate an empty matrix")
+        if vectors.dtype == np.float64 and vectors.flags.c_contiguous:
+            return vectors
+        return np.ascontiguousarray(vectors, dtype=np.float64)
     if not vectors:
         raise AggregationError("cannot aggregate an empty list of vectors")
     rows = [np.asarray(v, dtype=np.float64).ravel() for v in vectors]
@@ -74,9 +91,24 @@ class GAR:
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
-    def aggregate(self, vectors: Sequence[np.ndarray]) -> np.ndarray:
-        """Aggregate ``q`` input vectors into one output vector."""
-        matrix = as_matrix(vectors)
+    def aggregate(self, vectors) -> np.ndarray:
+        """Aggregate ``q`` input vectors into one output vector.
+
+        Accepts either a sequence of 1-D vectors or an already-stacked
+        ``(q, d)`` matrix (see :meth:`aggregate_matrix`); the sequence form is
+        stacked through :func:`as_matrix` inside :meth:`aggregate_matrix`.
+        """
+        return self.aggregate_matrix(vectors)
+
+    def aggregate_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Aggregate a ``(q, d)`` matrix of input rows into one output vector.
+
+        This is the zero-copy entry point: a read-only round-buffer view is
+        consumed directly — no restacking — and no rule ever writes through
+        it (the aliasing-safety suite locks this down).  The result is always
+        a fresh array owned by the caller.
+        """
+        matrix = as_matrix(matrix)
         if matrix.shape[0] < self.minimum_inputs(self.f):
             raise AggregationError(
                 f"{self.name} received {matrix.shape[0]} inputs but needs at least "
@@ -84,11 +116,11 @@ class GAR:
             )
         return self._aggregate(matrix)
 
-    def __call__(self, gradients: Sequence[np.ndarray], f: int | None = None) -> np.ndarray:
+    def __call__(self, gradients, f: int | None = None) -> np.ndarray:
         """Functional form matching the paper's listings: ``gar(gradients=..., f=...)``."""
         if f is not None and f != self.f:
-            # Re-validate against the requested f without mutating this instance.
-            type(self)(n=len(gradients), f=f)
+            # One clone both re-validates the resilience condition for the
+            # requested f and performs the aggregation.
             clone = type(self)(n=len(gradients), f=f)
             return clone.aggregate(gradients)
         return self.aggregate(gradients)
@@ -148,14 +180,75 @@ def pairwise_squared_distances(matrix: np.ndarray) -> np.ndarray:
     return squared
 
 
+#: Monotonic round-token source for :func:`tag_round_matrix`.
+_ROUND_TOKEN_COUNTER = itertools.count(1)
+
+#: ``id(matrix) -> (token, weakref-to-matrix)`` for matrices registered as
+#: per-round views.  The weak reference makes every lookup self-validating:
+#: a recycled ``id`` (the tagged view was dropped without an untag — e.g. a
+#: round buffer replaced after a capacity change, or a torn-down deployment)
+#: can never claim a stale token, because the stored referent no longer *is*
+#: the queried array.  Dead entries are swept opportunistically on tagging.
+_ROUND_TOKENS: Dict[int, Tuple[int, "weakref.ref"]] = {}
+_ROUND_TOKENS_LOCK = threading.Lock()
+
+
+def _sweep_dead_tokens_locked() -> None:
+    dead = [key for key, (_, ref) in _ROUND_TOKENS.items() if ref() is None]
+    for key in dead:
+        del _ROUND_TOKENS[key]
+
+
+def tag_round_matrix(matrix: np.ndarray) -> int:
+    """Register ``matrix`` as a per-round view and return its fresh token.
+
+    While tagged, :class:`PairwiseDistanceCache` keys the matrix by this token
+    instead of re-hashing its O(q d) bytes with BLAKE2b on every lookup.
+    Round buffers untag on recycle (:func:`untag_round_matrix`); callers must
+    re-tag after mutating the underlying storage.  Registration holds only a
+    weak reference, so a tagged view that is simply dropped costs one stale
+    entry until the next sweep, never a wrong cache hit.
+    """
+    token = next(_ROUND_TOKEN_COUNTER)
+    with _ROUND_TOKENS_LOCK:
+        if len(_ROUND_TOKENS) >= 64:
+            _sweep_dead_tokens_locked()
+        _ROUND_TOKENS[id(matrix)] = (token, weakref.ref(matrix))
+    return token
+
+
+def untag_round_matrix(matrix: np.ndarray) -> None:
+    """Drop the round token of ``matrix`` (no-op when it was never tagged)."""
+    with _ROUND_TOKENS_LOCK:
+        _ROUND_TOKENS.pop(id(matrix), None)
+
+
+def _round_token_of(matrix: np.ndarray) -> Optional[int]:
+    """The live token of ``matrix``, validating identity through the weakref."""
+    with _ROUND_TOKENS_LOCK:
+        entry = _ROUND_TOKENS.get(id(matrix))
+        if entry is None:
+            return None
+        token, ref = entry
+        if ref() is matrix:
+            return token
+        # Stale entry from a dropped view whose id was recycled: purge it and
+        # fall back to content hashing for this (different) array.
+        del _ROUND_TOKENS[id(matrix)]
+        return None
+
+
 class PairwiseDistanceCache:
     """Small LRU cache of pairwise squared-distance matrices.
 
-    Entries are keyed by a content fingerprint of the input matrix (shape
-    plus a BLAKE2b digest of its bytes), so the cache is correct even when
-    callers pass freshly allocated arrays with identical contents — which is
-    exactly what happens when several GARs score the same round's gradients.
-    Hashing costs O(q d); a hit saves the O(q^2 d) distance computation.
+    Per-round matrices registered through :func:`tag_round_matrix` are keyed
+    by their round token — an O(1) lookup, no bytes touched.  Everything else
+    falls back to a content fingerprint (shape plus a BLAKE2b digest of the
+    bytes), so the cache stays correct for callers passing freshly allocated
+    arrays with identical contents.  Either way a hit saves the O(q^2 d)
+    distance computation that one round's rules would otherwise repeat
+    (Multi-Krum selection, Bulyan's iterated inner Krum, the functional
+    ``gar(gradients=..., f=...)`` re-check path).
 
     Cached matrices have an exact-zero diagonal and are marked read-only:
     consumers that used to mutate the matrix (e.g. Krum's fill-diagonal
@@ -173,6 +266,9 @@ class PairwiseDistanceCache:
 
     @staticmethod
     def _fingerprint(matrix: np.ndarray) -> Tuple:
+        token = _round_token_of(matrix)
+        if token is not None:
+            return ("round-token", token, matrix.shape, matrix.dtype.str)
         # blake2b consumes the array's buffer directly (no tobytes() copy);
         # ascontiguousarray is a no-op for the already-C-contiguous matrices
         # produced by as_matrix.

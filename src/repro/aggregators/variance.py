@@ -19,6 +19,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.aggregators.base import as_matrix
 from repro.exceptions import ConfigurationError
 
 #: The GARs the tool knows how to evaluate (those with a published Delta).
@@ -83,7 +84,7 @@ def check_condition(
     Returns ``(satisfied, lhs, rhs)`` where ``lhs = kappa * Delta * deviation``
     and ``rhs = ||true_gradient||``.
     """
-    matrix = np.stack([np.asarray(g, dtype=np.float64).ravel() for g in worker_gradients])
+    matrix = as_matrix(worker_gradients)  # no restack for an already-(q, d) matrix
     n = matrix.shape[0] + f  # workers supplied are the honest ones
     mean = matrix.mean(axis=0)
     deviation = float(np.sqrt(((matrix - mean) ** 2).sum(axis=1).mean()))
@@ -133,7 +134,7 @@ def measure_variance(
                 f"gradient_sampler returned {len(worker_gradients)} gradients, expected n - f = {n - f}"
             )
         true_gradient = true_gradient_fn(step)
-        matrix = np.stack([np.asarray(g, dtype=np.float64).ravel() for g in worker_gradients])
+        matrix = as_matrix(worker_gradients)
         mean = matrix.mean(axis=0)
         deviation = float(np.sqrt(((matrix - mean) ** 2).sum(axis=1).mean()))
         report.deviations.append(deviation)

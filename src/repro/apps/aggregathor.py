@@ -43,7 +43,7 @@ def run_aggregathor(deployment: Deployment) -> None:
     for iteration in range(config.num_iterations):
         deployment.begin_round(iteration)
         accountant.begin()
-        gradients = server.get_gradients(iteration, quorum)
+        gradients = server.get_gradient_matrix(iteration, quorum)
         aggregated = gar(gradients=gradients, f=config.num_byzantine_workers)
         accountant.add_aggregation(gar)
         server.update_model(aggregated)

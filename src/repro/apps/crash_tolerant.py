@@ -54,10 +54,10 @@ def run_crash_tolerant(deployment: Deployment) -> None:
             if deployment.transport.failures.is_crashed(server.node_id):
                 continue
             try:
-                gradients = server.get_gradients(iteration, quorum)
+                gradients = server.get_gradient_matrix(iteration, quorum)
             except NodeCrashedError:  # pragma: no cover - defensive
                 continue
-            aggregated = gar.aggregate(gradients)
+            aggregated = gar.aggregate_matrix(gradients)
             if server is primary:
                 accountant.add_aggregation(gar)
             server.update_model(aggregated)

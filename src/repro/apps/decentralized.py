@@ -19,7 +19,7 @@ before they pull it.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 
@@ -41,8 +41,9 @@ def _contract(deployment: Deployment, honest, aggregated: Dict[str, np.ndarray],
             server.latest_aggr_grad = aggregated[server.node_id]
         refreshed: Dict[str, np.ndarray] = {}
         for server in honest:
-            peer_grads = server.get_aggr_grads(quorum, iteration=iteration)
-            peer_grads.append(aggregated[server.node_id])
+            peer_grads = server.get_aggr_grad_matrix(
+                quorum, iteration=iteration, extra=aggregated[server.node_id]
+            )
             refreshed[server.node_id] = gar(gradients=peer_grads, f=config.num_byzantine_workers)
             if server is deployment.primary:
                 accountant.add_aggregation(gar)
@@ -69,7 +70,7 @@ def run_decentralized(deployment: Deployment) -> None:
         # Phase 1 — every node aggregates the gradients of its peers.
         aggregated: Dict[str, np.ndarray] = {}
         for server in honest:
-            gradients = server.get_gradients(iteration, gradient_quorum)
+            gradients = server.get_gradient_matrix(iteration, gradient_quorum)
             aggregated[server.node_id] = gar(gradients=gradients, f=config.num_byzantine_workers)
             if server is reporting:
                 accountant.add_aggregation(gar)
@@ -84,9 +85,8 @@ def run_decentralized(deployment: Deployment) -> None:
         # Phase 3 — exchange and robustly aggregate the model states.
         new_models: Dict[str, np.ndarray] = {}
         for server in honest:
-            models: List[np.ndarray] = server.get_models(model_quorum, iteration=iteration)
-            models.append(server.flat_parameters())
-            new_models[server.node_id] = model_gar.aggregate(models)
+            models = server.get_model_matrix(model_quorum, iteration=iteration, include_self=True)
+            new_models[server.node_id] = model_gar.aggregate_matrix(models)
             if server is reporting:
                 accountant.add_aggregation(model_gar)
         for server in honest:

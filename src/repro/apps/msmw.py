@@ -47,18 +47,19 @@ def run_msmw(deployment: Deployment) -> None:
         deployment.begin_round(iteration)
         accountant.begin()
         for server in honest:
-            gradients = server.get_gradients(iteration, gradient_quorum)
+            gradients = server.get_gradient_matrix(iteration, gradient_quorum)
             aggregated = gar(gradients=gradients, f=config.num_byzantine_workers)
             if server is reporting:
                 accountant.add_aggregation(gar)
             server.update_model(aggregated)
 
-        # Second communication round: contract the replicas' models.
+        # Second communication round: contract the replicas' models.  Each
+        # replica's round buffer holds the peer models plus its own state as
+        # the final row — the layout the model GAR aggregates directly.
         new_models = {}
         for server in honest:
-            models = server.get_models(model_quorum, iteration=iteration)
-            models.append(server.flat_parameters())
-            aggregated_model = model_gar.aggregate(models)
+            models = server.get_model_matrix(model_quorum, iteration=iteration, include_self=True)
+            aggregated_model = model_gar.aggregate_matrix(models)
             if server is reporting:
                 accountant.add_aggregation(model_gar)
             new_models[server.node_id] = aggregated_model

@@ -36,7 +36,9 @@ def run_ssmw(deployment: Deployment) -> None:
     for iteration in range(config.num_iterations):
         deployment.begin_round(iteration)
         accountant.begin()
-        gradients = server.get_gradients(iteration, quorum)
+        # Zero-copy hot path: replies land in the server's round buffer and
+        # the GAR consumes the (q, d) view directly — no restacking.
+        gradients = server.get_gradient_matrix(iteration, quorum)
         aggregated = gar(gradients=gradients, f=config.num_byzantine_workers)
         accountant.add_aggregation(gar)
         server.update_model(aggregated)

@@ -26,8 +26,8 @@ def run_vanilla(deployment: Deployment) -> None:
     for iteration in range(config.num_iterations):
         deployment.begin_round(iteration)
         accountant.begin()
-        gradients = server.get_gradients(iteration, config.num_workers)
-        aggregated = gar.aggregate(gradients)
+        gradients = server.get_gradient_matrix(iteration, config.num_workers)
+        aggregated = gar.aggregate_matrix(gradients)
         accountant.add_aggregation(gar)
         server.update_model(aggregated)
 

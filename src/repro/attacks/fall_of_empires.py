@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.aggregators.base import as_matrix
 from repro.attacks.base import Attack, register_attack
 
 
@@ -28,7 +29,7 @@ class FallOfEmpiresAttack(Attack):
     def craft(
         self, honest_vector: np.ndarray, peer_vectors: Optional[Sequence[np.ndarray]] = None
     ) -> Optional[np.ndarray]:
-        if not peer_vectors:
+        if peer_vectors is None or len(peer_vectors) == 0:
             return -self.epsilon * honest_vector
-        matrix = np.stack([np.asarray(v, dtype=np.float64).ravel() for v in peer_vectors])
+        matrix = as_matrix(peer_vectors)  # zero-copy for an omniscient (q, d) view
         return (-self.epsilon * matrix.mean(axis=0)).reshape(honest_vector.shape)

@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.aggregators.base import as_matrix
 from repro.attacks.base import Attack, register_attack
 from scipy import stats
 
@@ -46,11 +47,11 @@ class LittleIsEnoughAttack(Attack):
     def craft(
         self, honest_vector: np.ndarray, peer_vectors: Optional[Sequence[np.ndarray]] = None
     ) -> Optional[np.ndarray]:
-        if not peer_vectors:
+        if peer_vectors is None or len(peer_vectors) == 0:
             # Without a view of the other workers, fall back to perturbing the
             # node's own gradient, which is the non-omniscient variant.
             return honest_vector - self.z * np.abs(honest_vector)
-        matrix = np.stack([np.asarray(v, dtype=np.float64).ravel() for v in peer_vectors])
+        matrix = as_matrix(peer_vectors)  # zero-copy for an omniscient (q, d) view
         mean = matrix.mean(axis=0)
         std = matrix.std(axis=0)
         return (mean - self.z * std).reshape(honest_vector.shape)

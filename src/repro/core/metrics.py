@@ -201,13 +201,15 @@ def parameter_alignment(
     vectors, keeps the ``top_k`` with the largest norms and reports the cosine
     of the angle between the two largest ones together with their norms.
     """
-    vectors = [np.asarray(v, dtype=np.float64).ravel() for v in parameter_vectors]
-    if len(vectors) < 2:
+    from repro.aggregators.base import as_matrix
+
+    if len(parameter_vectors) < 2:  # before as_matrix: keep the ValueError contract
         raise ValueError("alignment needs at least two parameter vectors")
+    matrix = as_matrix(parameter_vectors)  # no restack for an already-(q, d) matrix
     differences: List[np.ndarray] = []
-    for i in range(len(vectors)):
-        for j in range(i + 1, len(vectors)):
-            differences.append(vectors[i] - vectors[j])
+    for i in range(matrix.shape[0]):
+        for j in range(i + 1, matrix.shape[0]):
+            differences.append(matrix[i] - matrix[j])
     norms = np.array([np.linalg.norm(d) for d in differences])
     order = np.argsort(norms)[::-1][:top_k]
     top = [differences[i] for i in order]

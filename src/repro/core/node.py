@@ -58,6 +58,17 @@ class Node:
     def restore_state(self, blob: bytes) -> None:
         """Apply a :meth:`snapshot_state` blob onto this (freshly built) node."""
         self.__dict__.update(pickle.loads(blob))
+        self._relink_state()
+
+    def _relink_state(self) -> None:
+        """Re-establish aliasing invariants pickling cannot preserve.
+
+        Numpy views pickle as independent copies, so a restored model's flat
+        parameter buffer no longer backs its per-layer tensors; subclasses
+        owning a model re-attach the
+        :class:`~repro.nn.parameters.FlatParameterView` here so the zero-copy
+        paths resume bit-identically after a crash/recover.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(id={self.node_id!r}, device={self.device.name})"

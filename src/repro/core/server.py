@@ -29,11 +29,11 @@ from repro.datasets.synthetic import Dataset
 from repro.exceptions import ConfigurationError, TrainingError
 from repro.network.cost import CPU, CostModel, Device, TENSORFLOW, FrameworkProfile
 from repro.network.message import RequestContext
-from repro.network.transport import Transport
+from repro.network.transport import RoundBuffer, Transport
 from repro.nn.layers import Module
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.optim import SGD, Optimizer
-from repro.nn.parameters import get_flat_parameters, set_flat_parameters
+from repro.nn.parameters import attach_flat_view, flat_view, get_flat_parameters, set_flat_parameters
 from repro.nn.tensor import Tensor
 
 
@@ -58,6 +58,9 @@ class Server(Node):
     ) -> None:
         super().__init__(node_id, transport, device=device, framework=framework, cost_model=cost_model)
         self.model = model
+        # Contiguous flat parameter/gradient storage: parameter_vector reads,
+        # model-state payloads and the optimizer's axpy all share one buffer.
+        attach_flat_view(model)
         self.workers = list(workers)
         self.servers = [s for s in servers if s != node_id]
         self.test_dataset = test_dataset
@@ -82,6 +85,14 @@ class Server(Node):
         # ``latest_aggr_grad`` property so assignments reach remote replicas.
         self._latest_aggr_grad: Optional[np.ndarray] = None
 
+        # Per-kind preallocated reply matrices, recycled every round: the
+        # transport writes each selected reply straight into a row, GARs
+        # consume the sealed read-only view (see RoundBuffer's ownership
+        # rules).  Keyed by RPC kind; capacity covers every peer plus one
+        # extra row for this server's own vector where the protocols append
+        # it (model contraction, decentralized re-aggregation).
+        self._round_buffers: dict = {}
+
         transport.register_handler(node_id, "model", self._serve_model)
         transport.register_handler(node_id, "aggregated_gradient", self._serve_aggregated_gradient)
 
@@ -98,7 +109,14 @@ class Server(Node):
         return self.model.num_parameters()
 
     def flat_parameters(self) -> np.ndarray:
-        """The current model state as one flat vector."""
+        """The current model state as one flat vector.
+
+        With the flat buffer attached this is a **read-only zero-copy view**
+        that tracks the live model; callers needing a snapshot must ``copy()``.
+        """
+        view = flat_view(self.model)
+        if view is not None:
+            return view.parameter_vector()
         return get_flat_parameters(self.model)
 
     @property
@@ -145,20 +163,39 @@ class Server(Node):
     # ------------------------------------------------------------------ #
     # Networking abstractions
     # ------------------------------------------------------------------ #
-    def get_gradients(self, iteration: int, quorum: Optional[int] = None) -> List[np.ndarray]:
-        """Pull gradient estimates from the workers; return the fastest ``quorum``.
+    def _round_buffer(self, kind: str, capacity: int) -> RoundBuffer:
+        """The preallocated reply matrix for ``kind``, grown if peers changed."""
+        buffer = self._round_buffers.get(kind)
+        if (
+            buffer is None
+            or buffer.capacity < capacity
+            or buffer.dimension != self.dimension
+        ):
+            if buffer is not None:
+                buffer.reset()  # retire the old sealed view's round token
+            buffer = RoundBuffer(capacity, self.dimension)
+            self._round_buffers[kind] = buffer
+        return buffer
+
+    def get_gradient_matrix(self, iteration: int, quorum: Optional[int] = None) -> np.ndarray:
+        """Pull worker gradients into the round buffer; return the ``(q, d)`` view.
 
         ``quorum`` defaults to the total number of workers (synchronous,
         fault-free operation).  The current model state is shipped with the
         request so workers compute their estimate at the right point.  All
-        worker RPCs are issued concurrently through :attr:`executor`; the
-        reply list is ordered by simulated arrival time, and the elapsed time
-        charged to this server is the latency of the ``quorum``-th fastest
-        reply — never the sum over workers.
+        worker RPCs are issued concurrently through :attr:`executor`; rows are
+        ordered by simulated arrival time, and the elapsed time charged to
+        this server is the latency of the ``quorum``-th fastest reply — never
+        the sum over workers.
+
+        The returned matrix is **read-only** and recycled by the next
+        gradient pull; aggregate it immediately (``gar.aggregate_matrix``) or
+        copy.
         """
         if not self.workers:
             raise ConfigurationError("this server has no workers to pull gradients from")
         quorum = len(self.workers) if quorum is None else quorum
+        buffer = self._round_buffer("gradient", len(self.workers))
         replies, elapsed = self.transport.pull_many(
             self.node_id,
             self.workers,
@@ -166,37 +203,102 @@ class Server(Node):
             quorum=quorum,
             iteration=iteration,
             payload=self.flat_parameters(),
+            sink=buffer,
         )
         self.gradient_comm_time += elapsed
         # Requests carry the model state and every reply carries a gradient —
         # both are d-sized messages through this server's NIC.
         self.messages_exchanged += len(self.workers) + len(replies)
         self.last_gradient_sources = [reply.source for reply in replies]
-        return [np.asarray(reply.payload, dtype=np.float64) for reply in replies]
+        return buffer.matrix()
 
-    def get_models(self, quorum: Optional[int] = None, iteration: int = 0) -> List[np.ndarray]:
-        """Pull model states from the other server replicas; return the fastest ``quorum``."""
+    def get_gradients(self, iteration: int, quorum: Optional[int] = None) -> List[np.ndarray]:
+        """Pull gradient estimates from the workers; return the fastest ``quorum``.
+
+        Legacy list form of :meth:`get_gradient_matrix`: each entry is an
+        independent copy the caller owns (safe to hold across rounds).  Hot
+        paths should prefer the zero-copy matrix form.
+        """
+        matrix = self.get_gradient_matrix(iteration, quorum)
+        return [np.array(row) for row in matrix]
+
+    def get_model_matrix(
+        self,
+        quorum: Optional[int] = None,
+        iteration: int = 0,
+        include_self: bool = False,
+    ) -> np.ndarray:
+        """Pull peer model states into the round buffer; return the ``(q, d)`` view.
+
+        With ``include_self`` the server's own parameter vector is appended as
+        the final row — the layout Listing 2/3 aggregate.  Read-only, recycled
+        by the next model pull.
+        """
         if not self.servers:
             raise ConfigurationError("this server has no peer replicas to pull models from")
         quorum = len(self.servers) if quorum is None else quorum
+        buffer = self._round_buffer("model", len(self.servers) + 1)
         replies, elapsed = self.transport.pull_many(
-            self.node_id, self.servers, "model", quorum=quorum, iteration=iteration
+            self.node_id, self.servers, "model", quorum=quorum, iteration=iteration, sink=buffer
         )
         self.model_comm_time += elapsed
         self.messages_exchanged += len(replies)
-        return [np.asarray(reply.payload, dtype=np.float64) for reply in replies]
+        if include_self:
+            buffer.append_row(self.flat_parameters())
+        return buffer.matrix()
 
-    def get_aggr_grads(self, quorum: Optional[int] = None, iteration: int = 0) -> List[np.ndarray]:
-        """Pull the latest aggregated gradients from peers (decentralized contract step)."""
+    def get_models(self, quorum: Optional[int] = None, iteration: int = 0) -> List[np.ndarray]:
+        """Pull model states from the other server replicas; return the fastest ``quorum``.
+
+        Legacy list form of :meth:`get_model_matrix`; entries are independent
+        copies the caller owns.
+        """
+        matrix = self.get_model_matrix(quorum, iteration=iteration)
+        return [np.array(row) for row in matrix]
+
+    def get_aggr_grad_matrix(
+        self,
+        quorum: Optional[int] = None,
+        iteration: int = 0,
+        extra: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Pull peers' latest aggregates into the round buffer (contract step).
+
+        ``extra`` (this node's own aggregate in Listing 3) is appended as the
+        final row.  Read-only, recycled by the next aggregated-gradient pull.
+        """
         if not self.servers:
             raise ConfigurationError("this server has no peers to pull aggregated gradients from")
         quorum = len(self.servers) if quorum is None else quorum
+        buffer = self._round_buffer("aggregated_gradient", len(self.servers) + 1)
         replies, elapsed = self.transport.pull_many(
-            self.node_id, self.servers, "aggregated_gradient", quorum=quorum, iteration=iteration
+            self.node_id,
+            self.servers,
+            "aggregated_gradient",
+            quorum=quorum,
+            iteration=iteration,
+            sink=buffer,
         )
         self.model_comm_time += elapsed
         self.messages_exchanged += len(replies)
-        return [np.asarray(reply.payload, dtype=np.float64) for reply in replies]
+        if extra is not None:
+            buffer.append_row(extra)
+        return buffer.matrix()
+
+    def get_aggr_grads(self, quorum: Optional[int] = None, iteration: int = 0) -> List[np.ndarray]:
+        """Pull the latest aggregated gradients from peers (decentralized contract step).
+
+        Legacy list form of :meth:`get_aggr_grad_matrix`; entries are
+        independent copies the caller owns.
+        """
+        matrix = self.get_aggr_grad_matrix(quorum, iteration=iteration)
+        return [np.array(row) for row in matrix]
+
+    def _relink_state(self) -> None:
+        # A restored snapshot carries model values without the flat-buffer
+        # aliasing; re-attach so parameter views, the optimizer's flat
+        # velocity and served payloads keep operating zero-copy.
+        attach_flat_view(self.model)
 
     # ------------------------------------------------------------------ #
     # Checkpointing

@@ -20,7 +20,7 @@ from repro.network.message import RequestContext
 from repro.network.transport import Transport
 from repro.nn.layers import Module
 from repro.nn.losses import CrossEntropyLoss
-from repro.nn.parameters import get_flat_gradients, set_flat_parameters
+from repro.nn.parameters import attach_flat_view, flat_view, get_flat_gradients, set_flat_parameters
 from repro.nn.tensor import Tensor
 
 
@@ -59,6 +59,10 @@ class Worker(Node):
     ) -> None:
         super().__init__(node_id, transport, device=device, framework=framework, cost_model=cost_model)
         self.model = model
+        # Contiguous flat parameter/gradient storage: loading the requested
+        # model state is one vectorized copy and the served gradient is a
+        # read-only view of the flat gradient buffer (no per-layer gather).
+        attach_flat_view(model)
         self.loader = DataLoader(dataset, batch_size=batch_size, seed=seed)
         self.batch_size = batch_size
         self.loss_fn = loss or CrossEntropyLoss()
@@ -90,9 +94,21 @@ class Worker(Node):
         self._serve_lock = threading.RLock()
         transport.register_handler(node_id, "gradient", self._serve_gradient)
 
+    def _relink_state(self) -> None:
+        # Restored snapshots lose the flat-buffer aliasing (numpy views
+        # pickle as copies); re-attach so the zero-copy serve path resumes.
+        attach_flat_view(self.model)
+
     # ------------------------------------------------------------------ #
-    def compute_gradient(self, flat_model: np.ndarray) -> np.ndarray:
-        """Estimate a gradient at ``flat_model`` using the next local mini-batch."""
+    def _estimate_gradient(self, flat_model: np.ndarray) -> np.ndarray:
+        """One gradient estimate as a **read-only zero-copy view**.
+
+        The returned vector aliases this worker's flat gradient buffer (or
+        its momentum buffer) and is overwritten by the next estimate; it is
+        what the serve path hands to the transport, which copies it exactly
+        once — into the requester's round buffer.  External callers wanting
+        an owned array use :meth:`compute_gradient`.
+        """
         set_flat_parameters(self.model, flat_model)
         self.model.train()
         self.model.zero_grad()
@@ -105,13 +121,25 @@ class Worker(Node):
         self.compute_time += self.cost_model.compute_time(
             self.model.num_parameters(), self.batch_size
         )
-        gradient = get_flat_gradients(self.model)
+        view = flat_view(self.model)
+        gradient = view.gradient_vector() if view is not None else get_flat_gradients(self.model)
         if self.momentum > 0.0:
             if self._velocity is None:
                 self._velocity = np.zeros_like(gradient)
-            self._velocity = self.momentum * self._velocity + gradient
-            gradient = self._velocity.copy()
+            # In-place v = momentum * v + g, element-wise identical to the
+            # allocating form it replaces.
+            self._velocity *= self.momentum
+            self._velocity += gradient
+            gradient = self._velocity.view()
+            gradient.setflags(write=False)
         return gradient
+
+    def compute_gradient(self, flat_model: np.ndarray) -> np.ndarray:
+        """Estimate a gradient at ``flat_model`` using the next local mini-batch.
+
+        The caller owns the returned array (snapshot semantics).
+        """
+        return np.array(self._estimate_gradient(flat_model))
 
     # ------------------------------------------------------------------ #
     def _serve_gradient(self, context: RequestContext) -> Optional[np.ndarray]:
@@ -129,7 +157,7 @@ class Worker(Node):
             ):
                 return self._cached_gradient
             flat_model = np.asarray(context.payload, dtype=np.float64)
-            gradient = self.compute_gradient(flat_model)
+            gradient = self._estimate_gradient(flat_model)
             self._cached_iteration = context.iteration
             self._cached_gradient = gradient
             return gradient

@@ -52,15 +52,28 @@ def partition_non_iid(
         cuts = (np.cumsum(proportions) * len(cls_indices)).astype(int)[:-1]
         for worker_id, chunk in enumerate(np.split(cls_indices, cuts)):
             worker_indices[worker_id].extend(chunk.tolist())
-    shards = []
-    for worker_id, indices in enumerate(worker_indices):
-        if not indices:
-            # Guarantee every worker has at least one example to avoid
-            # degenerate loaders; steal one from the largest shard.
-            largest = max(range(num_workers), key=lambda w: len(worker_indices[w]))
-            indices = [worker_indices[largest].pop()]
-        shards.append(dataset.subset(np.asarray(sorted(indices))))
-    return shards
+    # Guarantee every worker has at least one example to avoid degenerate
+    # loaders; steal one from the largest shard.  Rebalancing must happen
+    # *before* any shard is materialized: stealing after would leave the
+    # stolen example in both the donor's already-built shard and the
+    # recipient's, breaking example conservation.  With at least one example
+    # per worker available, a donor with >= 2 always exists (pigeonhole)
+    # whenever some worker is empty; fewer examples than workers cannot
+    # satisfy the guarantee at all and fails loudly instead of silently
+    # duplicating examples across shards.
+    if len(dataset) < num_workers:
+        raise DatasetError(
+            f"cannot give each of {num_workers} workers an example: "
+            f"dataset has only {len(dataset)}"
+        )
+    for worker_id in range(num_workers):
+        if worker_indices[worker_id]:
+            continue
+        largest = max(range(num_workers), key=lambda w: len(worker_indices[w]))
+        worker_indices[worker_id].append(worker_indices[largest].pop())
+    return [
+        dataset.subset(np.asarray(sorted(indices))) for indices in worker_indices
+    ]
 
 
 def partition_dataset(

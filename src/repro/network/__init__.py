@@ -21,11 +21,14 @@ faithful in-process substitute:
 
 from repro.network.message import Message, Reply
 from repro.network.serialization import (
+    PAPER_BYTES_PER_ELEMENT,
+    WIRE_BYTES_PER_ELEMENT,
     deserialize_vector,
     serialize_vector,
+    serialize_vector_parts,
     serialized_nbytes,
 )
-from repro.network.transport import LinkModel, Transport, TransportStats
+from repro.network.transport import LinkModel, RoundBuffer, Transport, TransportStats
 from repro.network.failures import FailureInjector
 from repro.network.topology import ClusterTopology, build_topology, messages_per_round
 from repro.network.cost import (
@@ -45,9 +48,13 @@ __all__ = [
     "Message",
     "Reply",
     "serialize_vector",
+    "serialize_vector_parts",
     "deserialize_vector",
     "serialized_nbytes",
+    "WIRE_BYTES_PER_ELEMENT",
+    "PAPER_BYTES_PER_ELEMENT",
     "LinkModel",
+    "RoundBuffer",
     "Transport",
     "TransportStats",
     "FailureInjector",

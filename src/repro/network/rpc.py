@@ -135,25 +135,44 @@ def _raise_remote(response: Dict[str, Any]) -> None:
     raise CommunicationError(f"{name}: {message}")
 
 
+class _PooledConnection:
+    """One pooled socket plus its reusable receive scratch buffer.
+
+    The scratch bytearray persists across rounds, so steady-state reply
+    reception reuses the same staging storage frame after frame (see
+    :func:`repro.network.wire.recv_frame`).
+    """
+
+    __slots__ = ("sock", "scratch")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.scratch = bytearray(64)
+
+    def close(self) -> None:
+        self.sock.close()
+
+
 class RpcClient:
     """Pooled connections to one node host.
 
-    Each :meth:`call` checks a socket out of the pool (dialling a new one
+    Each :meth:`call` checks a connection out of the pool (dialling a new one
     when the pool is dry, which is what lets concurrent fan-out threads talk
     to the same host), performs one framed request/response round trip and
-    returns the socket for reuse.  Any connection-level failure closes the
-    socket and surfaces as :class:`NodeCrashedError` — over real sockets a
-    dead peer *is* a refused dial or a reset mid-frame.
+    returns the connection — socket and frame scratch buffer — for reuse.
+    Any connection-level failure closes the socket and surfaces as
+    :class:`NodeCrashedError` — over real sockets a dead peer *is* a refused
+    dial or a reset mid-frame.
     """
 
     def __init__(self, address: Tuple[str, int], timeout: float = DEFAULT_CALL_TIMEOUT) -> None:
         self.address = address
         self.timeout = timeout
-        self._free: List[socket.socket] = []
+        self._free: List[_PooledConnection] = []
         self._lock = threading.Lock()
         self._closed = False
 
-    def _checkout(self) -> socket.socket:
+    def _checkout(self) -> _PooledConnection:
         with self._lock:
             if self._closed:
                 raise NodeCrashedError(f"client for {self.address} is closed")
@@ -166,30 +185,30 @@ class RpcClient:
                 f"cannot connect to node host at {self.address}: {exc}"
             ) from exc
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return sock
+        return _PooledConnection(sock)
 
-    def _checkin(self, sock: socket.socket) -> None:
+    def _checkin(self, conn: _PooledConnection) -> None:
         with self._lock:
             if not self._closed:
-                self._free.append(sock)
+                self._free.append(conn)
                 return
-        sock.close()
+        conn.close()
 
     def call(self, message: Dict[str, Any]) -> Any:
         """One request/response round trip; returns the remote result."""
         # Encode before anything touches the socket: an unencodable payload
         # is a caller bug (plain CommunicationError), not a dead peer.
         body = encode_value(message)
-        sock = self._checkout()
+        conn = self._checkout()
         try:
-            send_frame(sock, body)
-            response = recv_message(sock)
+            send_frame(conn.sock, body)
+            response = recv_message(conn.sock, conn.scratch)
         except (ConnectionClosed, CommunicationError, OSError) as exc:
-            sock.close()
+            conn.close()
             raise NodeCrashedError(
                 f"node host at {self.address} died mid-call: {exc}"
             ) from exc
-        self._checkin(sock)
+        self._checkin(conn)
         if not isinstance(response, dict) or "ok" not in response:
             raise CommunicationError(f"malformed RPC response: {response!r}")
         if response["ok"]:
@@ -200,8 +219,8 @@ class RpcClient:
         with self._lock:
             self._closed = True
             free, self._free = self._free, []
-        for sock in free:
-            sock.close()
+        for conn in free:
+            conn.close()
 
 
 # ---------------------------------------------------------------------- #
@@ -235,10 +254,13 @@ class RpcServer:
             pass
 
     def _serve_connection(self, conn: socket.socket) -> None:
+        # One scratch per connection, reused for every request frame this
+        # peer ever sends (rounds reuse pooled connections client-side too).
+        scratch = bytearray(64)
         with conn:
             while not self._stopping.is_set():
                 try:
-                    message = recv_message(conn)
+                    message = recv_message(conn, scratch)
                 except (ConnectionClosed, CommunicationError, OSError):
                     return  # peer went away; nothing to answer
                 try:

@@ -6,11 +6,25 @@ Python plus a memory copy whose overhead is "non-negligible"; PyTorch avoids
 the switch.  The functions here perform real byte-level serialization (so
 round-trips are verifiable in tests) and expose the size accounting the cost
 model needs.
+
+The codec is copy-free in both directions where the buffer rules allow it:
+
+* :func:`serialize_vector_parts` emits ``(header, memoryview-of-the-array)``
+  without ever calling ``tobytes()`` — the array's own buffer goes straight
+  into the socket / frame join.
+* :func:`deserialize_vector` returns a **read-only** ``np.frombuffer`` view
+  into the received blob by default (the blob stays alive through the view's
+  ``base``); pass ``copy=True`` for an owned, writable array.
+
+Note the wire ships float64 (:data:`WIRE_BYTES_PER_ELEMENT` = 8 bytes per
+element) while the paper's systems ship float32 tensors; see
+:mod:`repro.network.cost` for how the two accountings are kept apart.
 """
 
 from __future__ import annotations
 
 import struct
+from typing import List, Union
 
 import numpy as np
 
@@ -19,37 +33,79 @@ from repro.exceptions import CommunicationError
 _HEADER = struct.Struct("<Iq")  # (ndim, total elements) followed by dims as int64
 _MAGIC = b"GARF"
 
+#: Bytes per element actually shipped by this codec (float64).
+WIRE_BYTES_PER_ELEMENT = 8
 
-def serialize_vector(vector: np.ndarray) -> bytes:
-    """Serialize a float64 array into a self-describing byte string."""
+#: Bytes per element of the paper's float32 tensors — what the simulated cost
+#: model charges (see :class:`repro.network.cost.NetworkParameters`).
+PAPER_BYTES_PER_ELEMENT = 4
+
+BytesLike = Union[bytes, bytearray, memoryview]
+
+
+def serialize_vector_parts(vector: np.ndarray) -> List[BytesLike]:
+    """Serialize a float64 array into ``[header, payload]`` buffer parts.
+
+    The payload part is a ``memoryview`` of the array's own storage (cast to
+    bytes) — zero copies.  The parts can be written to a socket back to back
+    or joined into one blob; the caller must not mutate the array until the
+    parts have been consumed.  Non-contiguous or non-float64 input is
+    converted first (one unavoidable copy).
+    """
     array = np.ascontiguousarray(vector, dtype=np.float64)
     dims = array.shape
     header = _MAGIC + _HEADER.pack(len(dims), array.size)
-    dims_bytes = struct.pack(f"<{len(dims)}q", *dims) if dims else b""
-    return header + dims_bytes + array.tobytes()
+    if dims:
+        header += struct.pack(f"<{len(dims)}q", *dims)
+    return [header, memoryview(array).cast("B")]
 
 
-def deserialize_vector(blob: bytes) -> np.ndarray:
-    """Inverse of :func:`serialize_vector`."""
-    if len(blob) < len(_MAGIC) + _HEADER.size or blob[: len(_MAGIC)] != _MAGIC:
+def serialize_vector(vector: np.ndarray) -> bytes:
+    """Serialize a float64 array into a self-describing byte string."""
+    return b"".join(serialize_vector_parts(vector))
+
+
+def deserialize_vector(blob: BytesLike, copy: bool = False) -> np.ndarray:
+    """Inverse of :func:`serialize_vector`.
+
+    By default the result is a **read-only view** into ``blob`` (which is
+    kept alive through the array's ``base``) — decoding a gradient touches no
+    element.  Pass ``copy=True`` for an owned, writable array; callers
+    decoding from a buffer that will be reused or mutated must do so.
+    """
+    view = memoryview(blob)
+    if len(view) < len(_MAGIC) + _HEADER.size or not view[: len(_MAGIC)] == _MAGIC:
         raise CommunicationError("malformed serialized vector (bad magic/header)")
     offset = len(_MAGIC)
-    ndim, size = _HEADER.unpack_from(blob, offset)
+    ndim, size = _HEADER.unpack_from(view, offset)
     offset += _HEADER.size
-    dims = struct.unpack_from(f"<{ndim}q", blob, offset) if ndim else ()
+    dims = struct.unpack_from(f"<{ndim}q", view, offset) if ndim else ()
     offset += 8 * ndim
-    expected_bytes = size * 8
-    body = blob[offset : offset + expected_bytes]
+    expected_bytes = size * WIRE_BYTES_PER_ELEMENT
+    body = view[offset : offset + expected_bytes]
     if len(body) != expected_bytes:
         raise CommunicationError("truncated serialized vector")
-    array = np.frombuffer(body, dtype=np.float64).copy()
+    array = np.frombuffer(body, dtype=np.float64)
+    if copy:
+        array = array.copy()
+    else:
+        # frombuffer over an immutable blob is already read-only; over a
+        # writable one (bytearray scratch) force it, so no consumer can write
+        # through into a transport buffer.
+        array.setflags(write=False)
     return array.reshape(dims) if dims else array
 
 
-def serialized_nbytes(dimension: int, bytes_per_element: int = 4) -> int:
+def serialized_nbytes(dimension: int, bytes_per_element: int | None = None) -> int:
     """Wire size of a d-dimensional vector.
 
-    The paper's systems ship float32 tensors, hence the default of 4 bytes per
-    element; the constant header is negligible but included for accuracy.
+    ``bytes_per_element`` defaults to :data:`WIRE_BYTES_PER_ELEMENT` (8 — the
+    float64 width this codec actually ships).  The paper's systems ship
+    float32 tensors, so the simulated cost model passes
+    :data:`PAPER_BYTES_PER_ELEMENT` (4) explicitly to stay calibrated to the
+    published figures; both accountings are exercised by the test suite.  The
+    constant header is negligible but included for accuracy.
     """
+    if bytes_per_element is None:
+        bytes_per_element = WIRE_BYTES_PER_ELEMENT
     return len(_MAGIC) + _HEADER.size + 8 + dimension * bytes_per_element

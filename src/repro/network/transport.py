@@ -186,6 +186,93 @@ class _PlannedPull:
     factor: float
 
 
+class RoundBuffer:
+    """Preallocated ``(capacity, d)`` reply matrix, refilled every round.
+
+    This kills the list-of-arrays plumbing between :meth:`Transport.pull_many`
+    and the GARs: instead of materializing one array per reply and restacking
+    them (an extra O(q d) copy per round plus allocator churn),
+    :meth:`Transport.pull_many` writes each selected reply directly into row
+    *i* of this buffer and every GAR consumes the resulting matrix view with
+    :meth:`~repro.aggregators.base.GAR.aggregate_matrix` — each gradient
+    element is touched once on its way in.
+
+    Ownership rules (see ``docs/performance.md``):
+
+    * Only the transport (and the owning server, for ``append_row``) may
+      write, and only between :meth:`reset` and the first :meth:`matrix` call
+      of a round.
+    * :meth:`matrix` returns a **read-only** view valid until the next
+      :meth:`reset` — i.e. until the owner starts its next pull of the same
+      kind.  Consumers that need the data beyond the round must copy.
+
+    Each sealed view is registered with the aggregators' round-token registry
+    (:func:`repro.aggregators.base.tag_round_matrix`) so distance-based rules
+    key their shared O(q^2 d) distance matrix by token instead of re-hashing
+    the buffer's bytes on every lookup.
+    """
+
+    def __init__(self, capacity: int, dimension: int) -> None:
+        if capacity <= 0 or dimension <= 0:
+            raise CommunicationError("RoundBuffer needs positive capacity and dimension")
+        self.capacity = capacity
+        self.dimension = dimension
+        self._storage = np.empty((capacity, dimension), dtype=np.float64)
+        self._rows = 0
+        self._view: Optional[np.ndarray] = None
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    def reset(self) -> None:
+        """Recycle the buffer for a new round, retiring the previous view."""
+        if self._view is not None:
+            from repro.aggregators.base import untag_round_matrix
+
+            untag_round_matrix(self._view)
+            self._view = None
+        self._rows = 0
+
+    def write_row(self, index: int, vector: Any) -> None:
+        """Copy one reply payload into row ``index`` (the round's only copy)."""
+        if self._view is not None:
+            raise CommunicationError("RoundBuffer is sealed; reset() before refilling")
+        if not 0 <= index < self.capacity:
+            raise CommunicationError(
+                f"row {index} out of range for a {self.capacity}-row round buffer"
+            )
+        row = np.asarray(vector, dtype=np.float64)
+        if row.size != self.dimension:
+            raise CommunicationError(
+                f"reply of dimension {row.size} does not fit a round buffer of "
+                f"dimension {self.dimension}"
+            )
+        self._storage[index, :] = row.reshape(-1)
+        self._rows = max(self._rows, index + 1)
+
+    def append_row(self, vector: Any) -> None:
+        """Write ``vector`` into the next free row (e.g. the server's own state)."""
+        self.write_row(self._rows, vector)
+
+    def matrix(self) -> np.ndarray:
+        """Seal the round and return the filled rows as a read-only view."""
+        if self._view is None:
+            from repro.aggregators.base import tag_round_matrix
+
+            view = self._storage[: self._rows]
+            view.setflags(write=False)
+            tag_round_matrix(view)
+            self._view = view
+        return self._view
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoundBuffer(capacity={self.capacity}, dimension={self.dimension}, "
+            f"rows={self._rows}, sealed={self._view is not None})"
+        )
+
+
 class Transport:
     """In-process pull-based RPC fabric shared by all nodes of a deployment.
 
@@ -401,6 +488,7 @@ class Transport:
         quorum: int,
         iteration: int = 0,
         payload: Any = None,
+        sink: Optional[RoundBuffer] = None,
     ) -> Tuple[List[Reply], float]:
         """Pull from all ``destinations`` concurrently; return the fastest ``quorum`` replies.
 
@@ -424,6 +512,11 @@ class Transport:
         ``quorum`` usable replies exist, :class:`TimeoutError` is raised —
         this is exactly the liveness condition requiring ``q + f`` deployed
         nodes in asynchronous settings.
+
+        When ``sink`` (a :class:`RoundBuffer`) is given, each selected
+        reply's payload is additionally written into row *i* of the buffer,
+        in arrival order — the zero-copy hand-off consumed by
+        ``GAR.aggregate_matrix``.
         """
         if quorum <= 0:
             raise CommunicationError("quorum must be positive")
@@ -479,4 +572,12 @@ class Transport:
         replies.sort(key=lambda r: r.latency)
         selected = replies[:quorum]
         elapsed = selected[-1].latency
+        # Optional zero-copy hand-off: write each selected reply straight into
+        # the caller's preallocated round buffer, in arrival order — the same
+        # order the legacy list-of-arrays path stacked, so aggregation sees
+        # byte-identical matrices.  This is the round's single payload copy.
+        if sink is not None:
+            sink.reset()
+            for index, reply in enumerate(selected):
+                sink.write_row(index, reply.payload)
         return selected, elapsed

@@ -26,18 +26,24 @@ Two layers live here:
 The framing deliberately does not compress or checksum: payloads are trusted
 (the coordinator spawned every peer) and the golden suite catches corruption
 far more loudly than a CRC would.
+
+Both directions are copy-frugal: encoded tensors are spliced into frames as
+memoryviews of their own storage (no ``tobytes()``), reception stages into a
+per-connection scratch ``bytearray`` reused across rounds (``recv_into``, no
+chunk lists), and decoded tensors are read-only ``frombuffer`` views into the
+frame body.
 """
 
 from __future__ import annotations
 
 import socket
 import struct
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.exceptions import CommunicationError
-from repro.network.serialization import deserialize_vector, serialize_vector
+from repro.network.serialization import deserialize_vector, serialize_vector_parts
 
 #: Frame preamble: marks the start of every message on the wire.
 FRAME_MAGIC = b"GWP1"
@@ -74,7 +80,7 @@ class ConnectionClosed(CommunicationError):
 # ---------------------------------------------------------------------- #
 # Value codec
 # ---------------------------------------------------------------------- #
-def _encode_into(value: Any, out: List[bytes]) -> None:
+def _encode_into(value: Any, out: List[Any]) -> None:
     if value is None:
         out.append(_TAG_NONE)
     elif value is True:
@@ -93,9 +99,12 @@ def _encode_into(value: Any, out: List[bytes]) -> None:
         out.append(_TAG_BYTES + _U64.pack(len(value)))
         out.append(bytes(value))
     elif isinstance(value, np.ndarray):
-        blob = serialize_vector(value)
-        out.append(_TAG_ARRAY + _U64.pack(len(blob)))
-        out.append(blob)
+        # Zero-copy: the array's own buffer is spliced into the frame as a
+        # memoryview part — no tobytes() materialization.  The single copy
+        # happens when the frame is joined/sent.
+        parts = serialize_vector_parts(value)
+        out.append(_TAG_ARRAY + _U64.pack(sum(len(part) for part in parts)))
+        out.extend(parts)
     elif isinstance(value, np.generic):  # numpy scalar: send as plain float/int
         _encode_into(value.item(), out)
     elif isinstance(value, (list, tuple)):
@@ -120,31 +129,43 @@ def _encode_into(value: Any, out: List[bytes]) -> None:
 
 
 def encode_value(value: Any) -> bytes:
-    """Serialize one payload value into its canonical byte form."""
-    out: List[bytes] = []
+    """Serialize one payload value into its canonical byte form.
+
+    Array payloads contribute memoryviews of their own storage to the part
+    list; the join below is the encode path's single copy.
+    """
+    out: List[Any] = []
     _encode_into(value, out)
     return b"".join(out)
 
 
 class _Reader:
-    """Cursor over a received frame body, validating every read length."""
+    """Cursor over a received frame body, validating every read length.
 
-    __slots__ = ("blob", "offset")
+    Operates on a ``memoryview`` so :meth:`take` never copies; decoded arrays
+    are read-only views into the frame body (kept alive through their
+    ``base``), which is what makes the decode side of the wire copy-free.
+    The frame body must therefore be immutable ``bytes`` — receive paths that
+    stage into a reusable scratch buffer snapshot it first.
+    """
+
+    __slots__ = ("blob", "view", "offset")
 
     def __init__(self, blob: bytes) -> None:
         self.blob = blob
+        self.view = memoryview(blob)
         self.offset = 0
 
-    def take(self, count: int) -> bytes:
+    def take(self, count: int) -> memoryview:
         end = self.offset + count
-        if end > len(self.blob):
+        if end > len(self.view):
             raise CommunicationError("truncated wire value")
-        chunk = self.blob[self.offset : end]
+        chunk = self.view[self.offset : end]
         self.offset = end
         return chunk
 
     def decode(self) -> Any:
-        tag = self.take(1)
+        tag = bytes(self.take(1))
         if tag == _TAG_NONE:
             return None
         if tag == _TAG_TRUE:
@@ -157,10 +178,10 @@ class _Reader:
             return _F64.unpack(self.take(8))[0]
         if tag == _TAG_STR:
             (length,) = _U32.unpack(self.take(4))
-            return self.take(length).decode("utf-8")
+            return bytes(self.take(length)).decode("utf-8")
         if tag == _TAG_BYTES:
             (length,) = _U64.unpack(self.take(8))
-            return self.take(length)
+            return bytes(self.take(length))
         if tag == _TAG_ARRAY:
             (length,) = _U64.unpack(self.take(8))
             return deserialize_vector(self.take(length))
@@ -172,14 +193,17 @@ class _Reader:
             result: Dict[str, Any] = {}
             for _ in range(count):
                 (key_len,) = _U32.unpack(self.take(4))
-                key = self.take(key_len).decode("utf-8")
+                key = bytes(self.take(key_len)).decode("utf-8")
                 result[key] = self.decode()
             return result
         raise CommunicationError(f"unknown wire tag {tag!r}")
 
 
 def decode_value(blob: bytes) -> Any:
-    """Inverse of :func:`encode_value`; rejects trailing garbage."""
+    """Inverse of :func:`encode_value`; rejects trailing garbage.
+
+    Decoded arrays are read-only zero-copy views into ``blob``.
+    """
     reader = _Reader(blob)
     value = reader.decode()
     if reader.offset != len(blob):
@@ -201,27 +225,48 @@ def send_frame(sock: socket.socket, body: bytes) -> None:
     sock.sendall(_FRAME_HEADER.pack(FRAME_MAGIC, len(body)) + body)
 
 
-def _recv_exact(sock: socket.socket, count: int, *, at_boundary: bool) -> bytes:
-    """Read exactly ``count`` bytes, looping over however many recvs it takes."""
-    chunks: List[bytes] = []
+def _recv_exact_into(sock: socket.socket, buffer: memoryview, *, at_boundary: bool) -> None:
+    """Fill ``buffer`` exactly, looping over however many recvs it takes.
+
+    ``recv_into`` writes straight into the caller's (reusable) staging buffer
+    — no per-chunk allocations, no join.
+    """
     received = 0
-    while received < count:
-        chunk = sock.recv(min(count - received, 1 << 16))
-        if not chunk:
-            if at_boundary and not chunks:
+    total = len(buffer)
+    while received < total:
+        count = sock.recv_into(buffer[received:])
+        if count == 0:
+            if at_boundary and received == 0:
                 raise ConnectionClosed("peer closed the connection")
             raise CommunicationError(
-                f"connection lost mid-frame ({received} of {count} bytes read)"
+                f"connection lost mid-frame ({received} of {total} bytes read)"
             )
-        chunks.append(chunk)
-        received += len(chunk)
-    return b"".join(chunks)
+        received += count
 
 
-def recv_frame(sock: socket.socket) -> bytes:
-    """Reassemble one frame body, tolerating arbitrarily fragmented reads."""
-    header = _recv_exact(sock, _FRAME_HEADER.size, at_boundary=True)
-    magic, length = _FRAME_HEADER.unpack(header)
+def _ensure_capacity(scratch: bytearray, count: int) -> None:
+    if len(scratch) < count:
+        scratch.extend(bytes(count - len(scratch)))
+
+
+def recv_frame(sock: socket.socket, scratch: Optional[bytearray] = None) -> bytes:
+    """Reassemble one frame body, tolerating arbitrarily fragmented reads.
+
+    ``scratch`` is an optional reusable staging buffer: long-lived
+    connections (the RPC client pool, the node-host serve loops) pass the
+    same bytearray for every frame so steady-state reception allocates only
+    the returned immutable body — which decode then views zero-copy — instead
+    of a chunk list plus a join per message.
+    """
+    if scratch is None:
+        scratch = bytearray(_FRAME_HEADER.size)
+    _ensure_capacity(scratch, _FRAME_HEADER.size)
+    header_view = memoryview(scratch)[: _FRAME_HEADER.size]
+    try:
+        _recv_exact_into(sock, header_view, at_boundary=True)
+    finally:
+        header_view.release()
+    magic, length = _FRAME_HEADER.unpack_from(scratch, 0)
     if magic != FRAME_MAGIC:
         raise CommunicationError(f"bad frame magic {magic!r}")
     if length > MAX_FRAME_BYTES:
@@ -230,7 +275,15 @@ def recv_frame(sock: socket.socket) -> bytes:
         )
     if length == 0:
         return b""
-    return _recv_exact(sock, length, at_boundary=False)
+    _ensure_capacity(scratch, length)
+    body_view = memoryview(scratch)[:length]
+    try:
+        _recv_exact_into(sock, body_view, at_boundary=False)
+        # One immutable snapshot per frame: decoded arrays will alias it, so
+        # it must not change when the scratch is reused for the next frame.
+        return bytes(body_view)
+    finally:
+        body_view.release()
 
 
 def send_message(sock: socket.socket, message: Any) -> None:
@@ -238,6 +291,6 @@ def send_message(sock: socket.socket, message: Any) -> None:
     send_frame(sock, encode_value(message))
 
 
-def recv_message(sock: socket.socket) -> Any:
+def recv_message(sock: socket.socket, scratch: Optional[bytearray] = None) -> Any:
     """Receive one frame and decode it with the value codec."""
-    return decode_value(recv_frame(sock))
+    return decode_value(recv_frame(sock, scratch))

@@ -37,6 +37,9 @@ from repro.nn.models import (
     model_size_mb,
 )
 from repro.nn.parameters import (
+    FlatParameterView,
+    attach_flat_view,
+    flat_view,
     get_flat_gradients,
     get_flat_parameters,
     set_flat_gradients,
@@ -75,4 +78,7 @@ __all__ = [
     "set_flat_parameters",
     "get_flat_gradients",
     "set_flat_gradients",
+    "FlatParameterView",
+    "attach_flat_view",
+    "flat_view",
 ]

@@ -17,10 +17,26 @@ from repro.nn.tensor import Tensor
 
 
 class Parameter(Tensor):
-    """A tensor that is registered as a trainable model parameter."""
+    """A tensor that is registered as a trainable model parameter.
+
+    When the owning model has a :class:`~repro.nn.parameters.FlatParameterView`
+    attached, ``data`` and ``grad`` are views into the model's contiguous flat
+    buffers; ``_flat_grad`` / ``_flat_view`` (set by the view at attach time)
+    keep :meth:`zero_grad` from severing that binding.
+    """
 
     def __init__(self, data: np.ndarray) -> None:
         super().__init__(data, requires_grad=True)
+
+    def zero_grad(self) -> None:
+        flat_grad = getattr(self, "_flat_grad", None)
+        if flat_grad is not None:
+            # Keep the gradient bound to the flat buffer: zero in place so the
+            # autograd accumulation (`grad += piece`) writes through the view.
+            flat_grad.fill(0.0)
+            self.grad = flat_grad
+        else:
+            self.grad = None
 
 
 class Module:
@@ -43,6 +59,15 @@ class Module:
         elif isinstance(value, Module):
             self.__dict__.setdefault("_modules", {})[name] = value
         object.__setattr__(self, name, value)
+
+    def __getstate__(self) -> Dict[str, object]:
+        # An attached FlatParameterView is pure aliasing structure: pickling
+        # would duplicate every parameter into the view's buffers *without*
+        # preserving the aliasing (numpy views pickle as independent copies).
+        # Drop it; owners re-attach after restore (see Node._relink_state).
+        state = dict(self.__dict__)
+        state.pop("_flat_view", None)
+        return state
 
     # ------------------------------------------------------------------ #
     def parameters(self) -> List[Parameter]:

@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.nn.layers import Parameter
+from repro.nn.parameters import FlatParameterView
 
 
 class Optimizer:
@@ -31,12 +32,34 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def _resolve_flat_view(self) -> Optional[FlatParameterView]:
+        """The parameters' shared :class:`FlatParameterView`, if one is bound.
+
+        Resolved per call (identity checks only, O(#parameters)) so the
+        optimizer follows a view re-attached after a snapshot restore without
+        holding a stale buffer reference.
+        """
+        if not self.parameters:
+            return None
+        view = getattr(self.parameters[0], "_flat_view", None)
+        if isinstance(view, FlatParameterView) and view.covers(self.parameters):
+            return view
+        return None
+
     def apply_flat_gradient(self, flat_gradient: np.ndarray) -> None:
         """Load a flat gradient vector into ``param.grad`` slots then ``step()``.
 
         This is the path the Garfield server uses: it aggregates worker
         gradients into one flat vector and applies it to its model replica.
+        With a :class:`FlatParameterView` bound, the gradient is written
+        through the shared flat buffer (one vectorized copy — the per-layer
+        ``grad`` views stay bound) instead of rebinding per-layer slices.
         """
+        view = self._resolve_flat_view()
+        if view is not None:
+            view.set_gradients(flat_gradient)  # raises ValueError on size mismatch
+            self.step()
+            return
         offset = 0
         for param in self.parameters:
             size = param.size
@@ -65,6 +88,43 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        # Flat-path state: one velocity vector and one scratch buffer over the
+        # whole model, used instead of the per-layer lists when the parameters
+        # are backed by a FlatParameterView.
+        self._flat_velocity: Optional[np.ndarray] = None
+        self._flat_scratch: Optional[np.ndarray] = None
+
+    def apply_flat_gradient(self, flat_gradient: np.ndarray) -> None:
+        """Apply one SGD step from a flat gradient vector.
+
+        With a bound :class:`~repro.nn.parameters.FlatParameterView` the whole
+        update is an in-place axpy on the flat buffer (``theta -= lr * g``,
+        plus flat momentum / weight-decay terms) that reads the aggregated
+        vector directly — no per-layer scatter, no gradient copy.  The
+        element-wise operations match the per-layer loop exactly, so both
+        paths are bit-identical.
+        """
+        view = self._resolve_flat_view()
+        if view is None:
+            super().apply_flat_gradient(flat_gradient)
+            return
+        grad = np.asarray(flat_gradient, dtype=np.float64).reshape(-1)
+        if grad.size != view.dimension:
+            raise ValueError(
+                f"flat gradient has {grad.size} elements, model expects {view.dimension}"
+            )
+        if self.weight_decay:
+            grad = grad + self.weight_decay * view.data
+        if self.momentum:
+            if self._flat_velocity is None:
+                self._flat_velocity = np.zeros(view.dimension, dtype=np.float64)
+            self._flat_velocity *= self.momentum
+            self._flat_velocity += grad
+            grad = self._flat_velocity
+        if self._flat_scratch is None or self._flat_scratch.size != view.dimension:
+            self._flat_scratch = np.empty(view.dimension, dtype=np.float64)
+        np.multiply(grad, self.lr, out=self._flat_scratch)
+        np.subtract(view.data, self._flat_scratch, out=view.data)
 
     def step(self) -> None:
         for index, param in enumerate(self.parameters):

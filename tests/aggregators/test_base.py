@@ -128,3 +128,180 @@ class TestFunctionalCall:
             gar = init(name, n=max(7, init(name, n=100, f=f).minimum_inputs(f)), f=f)
             assert gar.flops(1000) > 0
             assert gar.flops(10_000) > gar.flops(1000)
+
+
+class TestMatrixFastPath:
+    """The zero-copy (q, d) matrix entry points added by the flat pipeline."""
+
+    def test_as_matrix_short_circuits_contiguous_float64(self):
+        matrix = np.random.default_rng(0).normal(size=(4, 6))
+        assert as_matrix(matrix) is matrix
+
+    def test_as_matrix_short_circuit_preserves_readonly_flag(self):
+        matrix = np.zeros((3, 4))
+        matrix.setflags(write=False)
+        assert as_matrix(matrix) is matrix
+
+    def test_as_matrix_converts_wrong_dtype(self):
+        matrix = np.ones((3, 4), dtype=np.float32)
+        out = as_matrix(matrix)
+        assert out.dtype == np.float64 and out.shape == (3, 4)
+
+    def test_as_matrix_rejects_wrong_ndim(self):
+        with pytest.raises(AggregationError):
+            as_matrix(np.zeros(5))
+        with pytest.raises(AggregationError):
+            as_matrix(np.zeros((2, 3, 4)))
+
+    def test_as_matrix_rejects_empty_matrix(self):
+        with pytest.raises(AggregationError):
+            as_matrix(np.zeros((0, 4)))
+
+    def test_aggregate_matrix_equals_aggregate_list(self):
+        rng = np.random.default_rng(1)
+        vectors = [rng.normal(size=12) for _ in range(9)]
+        matrix = np.stack(vectors)
+        for name in available_gars():
+            gar = init(name, n=9, f=1)
+            assert np.array_equal(gar.aggregate(vectors), gar.aggregate_matrix(matrix)), name
+
+    def test_aggregate_accepts_matrix_directly(self):
+        matrix = np.arange(15.0).reshape(5, 3)
+        out = init("median", n=5, f=1).aggregate(matrix)
+        assert np.allclose(out, np.median(matrix, axis=0))
+
+    def test_aggregate_matrix_quorum_validation(self):
+        gar = Median(n=5, f=2)
+        with pytest.raises(AggregationError):
+            gar.aggregate_matrix(np.zeros((3, 4)))
+
+
+class TestFunctionalCallConstruction:
+    def test_clone_constructed_exactly_once(self):
+        """Regression: the f-override path used to build the clone GAR twice."""
+        constructions = []
+
+        class CountingMedian(Median):
+            name = "counting-median"
+
+            def __init__(self, n, f=0):
+                constructions.append((n, f))
+                super().__init__(n, f)
+
+        gar = CountingMedian(n=5, f=1)
+        assert constructions == [(5, 1)]
+        gradients = [np.full(4, float(i)) for i in range(5)]
+        out = gar(gradients=gradients, f=2)
+        # Exactly one clone for the f=2 re-validation — not two.
+        assert constructions == [(5, 1), (5, 2)]
+        assert np.allclose(out, 2.0)
+
+    def test_same_f_does_not_construct_a_clone(self):
+        constructions = []
+
+        class CountingMedian(Median):
+            name = "counting-median-2"
+
+            def __init__(self, n, f=0):
+                constructions.append((n, f))
+                super().__init__(n, f)
+
+        gar = CountingMedian(n=5, f=1)
+        gar(gradients=[np.full(4, float(i)) for i in range(5)], f=1)
+        assert constructions == [(5, 1)]
+
+
+class TestRoundTokenCache:
+    def test_tagged_matrix_skips_content_hash(self):
+        from repro.aggregators.base import (
+            DISTANCE_CACHE,
+            PairwiseDistanceCache,
+            shared_squared_distances,
+            tag_round_matrix,
+            untag_round_matrix,
+        )
+
+        matrix = np.random.default_rng(2).normal(size=(5, 8))
+        matrix.setflags(write=False)
+        tag_round_matrix(matrix)
+        try:
+            key = PairwiseDistanceCache._fingerprint(matrix)
+            assert key[0] == "round-token"
+            before_misses = DISTANCE_CACHE.misses
+            first = shared_squared_distances(matrix)
+            hits_before = DISTANCE_CACHE.hits
+            second = shared_squared_distances(matrix)
+            assert second is first  # same cache entry, no recompute
+            assert DISTANCE_CACHE.hits == hits_before + 1
+            assert DISTANCE_CACHE.misses == before_misses + 1
+        finally:
+            untag_round_matrix(matrix)
+
+    def test_untag_falls_back_to_content_hash(self):
+        from repro.aggregators.base import PairwiseDistanceCache, tag_round_matrix, untag_round_matrix
+
+        matrix = np.ones((3, 3))
+        tag_round_matrix(matrix)
+        untag_round_matrix(matrix)
+        key = PairwiseDistanceCache._fingerprint(matrix)
+        assert key[0] != "round-token"
+
+    def test_retagging_invalidates_previous_round(self):
+        from repro.aggregators.base import (
+            PairwiseDistanceCache,
+            tag_round_matrix,
+            untag_round_matrix,
+        )
+
+        matrix = np.zeros((2, 2))
+        tag_round_matrix(matrix)
+        first_key = PairwiseDistanceCache._fingerprint(matrix)
+        tag_round_matrix(matrix)  # a new round reuses the same buffer object
+        second_key = PairwiseDistanceCache._fingerprint(matrix)
+        untag_round_matrix(matrix)
+        assert first_key != second_key
+
+    def test_token_and_content_paths_agree_numerically(self):
+        from repro.aggregators.base import (
+            shared_squared_distances,
+            tag_round_matrix,
+            untag_round_matrix,
+        )
+
+        matrix = np.random.default_rng(3).normal(size=(6, 10))
+        by_content = np.array(shared_squared_distances(matrix))
+        tag_round_matrix(matrix)
+        try:
+            by_token = shared_squared_distances(matrix)
+            assert np.array_equal(by_content, by_token)
+        finally:
+            untag_round_matrix(matrix)
+
+    def test_dropped_tagged_matrix_cannot_claim_a_stale_token(self):
+        """A tagged view dropped without untag must never serve a wrong hit."""
+        import gc
+
+        from repro.aggregators import base
+
+        matrix = np.zeros((2, 2))
+        base.tag_round_matrix(matrix)
+        stale_id = id(matrix)
+        del matrix
+        gc.collect()
+        # The weakref invalidates the entry even before any sweep: an array
+        # that happens to reuse the id is not the stored referent, so lookups
+        # fall back to content hashing (we can't force id reuse portably, but
+        # the entry must be dead).
+        entry = base._ROUND_TOKENS.get(stale_id)
+        assert entry is None or entry[1]() is None
+        # Tagging activity past the sweep threshold purges dead entries so
+        # the registry stays bounded across dropped deployments.
+        keep = [np.zeros((1, 1)) for _ in range(70)]
+        try:
+            for array in keep:
+                base.tag_round_matrix(array)
+            live_entry = base._ROUND_TOKENS.get(stale_id)
+            assert live_entry is None or live_entry[1]() is not None
+        finally:
+            for array in keep:
+                base.untag_round_matrix(array)

@@ -68,3 +68,34 @@ class TestNonIid:
         iid = partition_dataset(dataset, 4, iid=True, seed=0)
         non_iid = partition_dataset(dataset, 4, iid=False, alpha=0.2, seed=0)
         assert len(iid) == len(non_iid) == 4
+
+
+class TestNonIidRebalancing:
+    def test_conserves_examples_under_extreme_skew(self):
+        from repro.datasets.partition import partition_non_iid
+        from repro.datasets.synthetic import make_classification
+
+        dataset = make_classification(120, (1, 2, 2), num_classes=5, seed=3)
+        shards = partition_non_iid(dataset, 5, alpha=0.0625, seed=7)
+        assert sum(len(s) for s in shards) == 120  # regression: was 121
+
+    def test_every_worker_gets_at_least_one_example(self):
+        from repro.datasets.partition import partition_non_iid
+        from repro.datasets.synthetic import make_classification
+
+        dataset = make_classification(12, (1, 2, 2), num_classes=3, seed=0)
+        for seed in range(10):
+            shards = partition_non_iid(dataset, 12, alpha=0.05, seed=seed)
+            assert all(len(s) >= 1 for s in shards)
+            assert sum(len(s) for s in shards) == 12
+
+    def test_fewer_examples_than_workers_fails_loudly(self):
+        import pytest
+
+        from repro.datasets.partition import partition_non_iid
+        from repro.datasets.synthetic import make_classification
+        from repro.exceptions import DatasetError
+
+        dataset = make_classification(3, (1, 2, 2), num_classes=2, seed=0)
+        with pytest.raises(DatasetError):
+            partition_non_iid(dataset, 5, alpha=0.1, seed=0)

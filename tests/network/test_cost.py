@@ -134,3 +134,32 @@ class TestNetworkParameters:
 
     def test_message_bytes_uses_float32(self):
         assert CostModel().message_bytes(1_000) == 4_000
+
+
+class TestWireWidthAccounting:
+    """The paper ships float32; our codec ships float64 — both accountings."""
+
+    def test_cost_model_defaults_to_paper_float32(self):
+        from repro.network.serialization import PAPER_BYTES_PER_ELEMENT
+
+        network = NetworkParameters()
+        assert network.bytes_per_element == 4 == PAPER_BYTES_PER_ELEMENT
+        assert CostModel(network=network).message_bytes(1_000) == 4_000
+
+    def test_wire_accurate_accounting_is_double_the_modeled_one(self):
+        from repro.network.serialization import (
+            WIRE_BYTES_PER_ELEMENT,
+            serialized_nbytes,
+        )
+
+        modeled = serialized_nbytes(50_000, bytes_per_element=NetworkParameters().bytes_per_element)
+        actual = serialized_nbytes(50_000)  # defaults to the codec's float64
+        assert WIRE_BYTES_PER_ELEMENT == 8
+        assert actual - modeled == 50_000 * 4
+
+    def test_transport_accounting_uses_the_modeled_width(self):
+        # The golden traces depend on this: simulated latencies charge the
+        # paper's float32 wire, not the codec's float64.
+        from repro.network.transport import LinkModel
+
+        assert LinkModel().bytes_per_element == 4

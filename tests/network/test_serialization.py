@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 
 from repro.exceptions import CommunicationError
-from repro.network.serialization import deserialize_vector, serialize_vector, serialized_nbytes
+from repro.network.serialization import (
+    PAPER_BYTES_PER_ELEMENT,
+    WIRE_BYTES_PER_ELEMENT,
+    deserialize_vector,
+    serialize_vector,
+    serialize_vector_parts,
+    serialized_nbytes,
+)
 
 
 class TestRoundTrip:
@@ -33,11 +40,44 @@ class TestRoundTrip:
         restored = deserialize_vector(serialize_vector(matrix))
         assert np.allclose(restored, matrix)
 
-    def test_deserialized_is_writable_copy(self):
+    def test_deserialized_default_is_readonly_view(self):
         vector = np.ones(8)
-        restored = deserialize_vector(serialize_vector(vector))
-        restored[0] = 99.0  # must not raise (frombuffer alone would be read-only)
+        blob = serialize_vector(vector)
+        restored = deserialize_vector(blob)
+        assert not restored.flags.writeable
+        with pytest.raises(ValueError):
+            restored[0] = 99.0  # zero-copy views must reject writes
+        # The view aliases the blob, not the source vector.
+        assert restored.base is not None
+
+    def test_deserialize_copy_is_writable_and_owned(self):
+        vector = np.ones(8)
+        restored = deserialize_vector(serialize_vector(vector), copy=True)
+        restored[0] = 99.0  # must not raise
         assert vector[0] == 1.0
+
+    def test_zero_copy_view_survives_blob_going_out_of_scope(self):
+        restored = deserialize_vector(serialize_vector(np.arange(16.0)))
+        assert np.allclose(restored, np.arange(16.0))  # base keeps blob alive
+
+
+class TestZeroCopyParts:
+    def test_parts_alias_the_array_storage(self):
+        vector = np.arange(32.0)
+        header, payload = serialize_vector_parts(vector)
+        assert isinstance(payload, memoryview)
+        assert len(payload) == vector.nbytes
+        assert np.shares_memory(np.frombuffer(payload, dtype=np.float64), vector)
+
+    def test_parts_join_equals_serialize(self):
+        vector = np.random.default_rng(3).normal(size=(5, 7))
+        assert b"".join(serialize_vector_parts(vector)) == serialize_vector(vector)
+
+    def test_readonly_flat_view_serializes(self):
+        vector = np.arange(16.0)
+        ro = vector.view()
+        ro.setflags(write=False)
+        assert np.allclose(deserialize_vector(serialize_vector(ro)), vector)
 
 
 class TestErrors:
@@ -59,9 +99,21 @@ class TestSizeAccounting:
     def test_wire_size_scales_with_dimension(self):
         assert serialized_nbytes(2_000) > serialized_nbytes(1_000)
 
-    def test_wire_size_uses_float32_by_default(self):
+    def test_wire_size_defaults_to_actual_float64_width(self):
+        # The codec ships float64: the default accounting must say 8 B/element.
         small, large = serialized_nbytes(0), serialized_nbytes(1_000_000)
+        assert large - small == 8_000_000 == 1_000_000 * WIRE_BYTES_PER_ELEMENT
+
+    def test_paper_float32_accounting_is_explicit(self):
+        # The simulated cost model stays calibrated to the paper's float32
+        # tensors by passing 4 B/element explicitly (LinkModel does this).
+        small = serialized_nbytes(0, bytes_per_element=PAPER_BYTES_PER_ELEMENT)
+        large = serialized_nbytes(1_000_000, bytes_per_element=PAPER_BYTES_PER_ELEMENT)
         assert large - small == 4_000_000
+
+    def test_default_matches_serialized_blob_length(self):
+        vector = np.zeros(257)
+        assert len(serialize_vector(vector)) == serialized_nbytes(257)
 
     def test_custom_bytes_per_element(self):
         assert serialized_nbytes(100, bytes_per_element=8) - serialized_nbytes(0, bytes_per_element=8) == 800

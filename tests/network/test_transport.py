@@ -235,3 +235,68 @@ class TestLinkModel:
         assert link.sample_latency(rng, 100, factor=10.0) == pytest.approx(
             10.0 * link.sample_latency(rng, 100, factor=1.0)
         )
+
+
+class TestRoundBufferSink:
+    def test_pull_many_fills_rows_in_arrival_order(self):
+        from repro.network.transport import RoundBuffer
+
+        transport = build_cluster(num_nodes=5)
+        sink = RoundBuffer(capacity=5, dimension=4)
+        replies, _ = transport.pull_many(
+            "node-0", [f"node-{i}" for i in range(1, 5)], "value", quorum=3, sink=sink
+        )
+        matrix = sink.matrix()
+        assert matrix.shape == (3, 4)
+        for index, reply in enumerate(replies):
+            assert np.array_equal(matrix[index], np.asarray(reply.payload, dtype=np.float64))
+
+    def test_sink_matrix_is_readonly_and_stable_within_round(self):
+        from repro.network.transport import RoundBuffer
+
+        transport = build_cluster(num_nodes=4)
+        sink = RoundBuffer(capacity=4, dimension=4)
+        transport.pull_many(
+            "node-0", ["node-1", "node-2", "node-3"], "value", quorum=2, sink=sink
+        )
+        matrix = sink.matrix()
+        assert not matrix.flags.writeable
+        assert sink.matrix() is matrix  # sealed view is stable until reset
+
+    def test_sink_reused_across_rounds(self):
+        from repro.network.transport import RoundBuffer
+
+        transport = build_cluster(num_nodes=4)
+        sink = RoundBuffer(capacity=4, dimension=4)
+        destinations = ["node-1", "node-2", "node-3"]
+        transport.pull_many("node-0", destinations, "value", quorum=3, sink=sink)
+        first = sink.matrix()
+        first_copy = first.copy()
+        transport.pull_many("node-0", destinations, "value", quorum=3, sink=sink)
+        second = sink.matrix()
+        # Same storage recycled; the same three constant replies arrive, but
+        # the arrival order re-randomizes per round.
+        assert np.shares_memory(first, second)
+        assert np.array_equal(
+            np.sort(second, axis=0), np.sort(first_copy, axis=0)
+        )
+
+    def test_sink_rejects_mismatched_payload_dimension(self):
+        from repro.network.transport import RoundBuffer
+
+        transport = build_cluster(num_nodes=3)
+        sink = RoundBuffer(capacity=3, dimension=7)  # handlers serve 4-vectors
+        with pytest.raises(CommunicationError):
+            transport.pull_many("node-0", ["node-1", "node-2"], "value", quorum=2, sink=sink)
+
+    def test_round_matrix_registered_with_token_registry(self):
+        from repro.aggregators.base import PairwiseDistanceCache
+        from repro.network.transport import RoundBuffer
+
+        sink = RoundBuffer(capacity=2, dimension=3)
+        sink.write_row(0, np.zeros(3))
+        matrix = sink.matrix()
+        assert PairwiseDistanceCache._fingerprint(matrix)[0] == "round-token"
+        sink.reset()
+        # After recycling, the retired view falls back to content hashing.
+        assert PairwiseDistanceCache._fingerprint(matrix)[0] != "round-token"

@@ -1,0 +1,48 @@
+"""Tier-1 smoke test for the hot-path allocation contract.
+
+Loads the benchmark harness (``benchmarks/bench_hotpath.py``) and checks, on
+a configuration small enough for CI, that the zero-copy flat pipeline
+allocates at most half the bytes per round of the legacy list-of-arrays
+pipeline.  Timing is *not* asserted here (CI machines are noisy); the full
+grid with rounds/sec lives in ``make bench-hotpath`` / ``BENCH_hotpath.json``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_hotpath.py"
+
+
+def load_bench():
+    spec = importlib.util.spec_from_file_location("bench_hotpath", BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_flat_path_allocates_at_most_half_the_bytes():
+    bench = load_bench()
+    numbers = bench.measure(num_workers=8, dimension=20_000, gar_name="average", rounds=5)
+    assert numbers["bytes_ratio"] <= 0.5, numbers
+
+
+def test_flat_and_legacy_pipelines_agree_numerically():
+    """The two pipelines the benchmark compares must do the same math."""
+    import numpy as np
+
+    bench = load_bench()
+    gradients = bench.make_worker_gradients(4, 2_000, seed=9)
+    gar = bench.init_gar("average", n=4)
+    legacy, legacy_transport, legacy_ids = bench.build_legacy(4, 2_000, gradients)
+    server, flat_transport, _ = bench.build_flat(4, 2_000, gradients)
+    # Start both pipelines from the same parameter values.
+    server.write_model(legacy.flat_parameters())
+    for iteration in range(3):
+        legacy.round(legacy_transport, legacy_ids, gar, iteration)
+        bench.run_flat_round(server, gar, iteration)
+        assert np.allclose(server.flat_parameters(), legacy.flat_parameters())
+    flat_transport.close()
+    legacy_transport.close()
