@@ -1,6 +1,8 @@
 # Developer entry points for the GARFIELD reproduction.
 #
 #   make test           — tier-1 test suite (what CI gates on)
+#   make test-session   — streaming Session API suite (pause/resume identity,
+#                         until/early-stop, callbacks, registry, shims)
 #   make test-scenarios — golden-trace regression suite for the chaos scenarios
 #   make test-backends  — transport conformance + golden equivalence across the
 #                         serial / threaded / process backends
@@ -15,10 +17,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-scenarios test-backends update-golden bench-smoke bench-hotpath bench docs-check quickstart
+.PHONY: test test-session test-scenarios test-backends update-golden bench-smoke bench-hotpath bench docs-check quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-session:
+	$(PYTHON) -m pytest tests/core/test_session.py -q
 
 test-scenarios:
 	$(PYTHON) -m pytest tests/integration/test_scenarios_golden.py -q
@@ -42,5 +47,8 @@ bench:
 docs-check:
 	$(PYTHON) scripts/check_docs.py
 
+# Smoke both fluent entry points end to end: the streamed quickstart session
+# and a one-call scenario-driven repro.train run.
 quickstart:
 	$(PYTHON) examples/quickstart.py
+	$(PYTHON) -c "import repro; r = repro.train(scenario='calm_baseline'); print('streamed scenario session:', r.summary())"

@@ -8,21 +8,23 @@ attacks, with Byzantine nodes on both the worker and the server side:
 * the crash-tolerant primary/backup baseline,
 * Garfield's MSMW application (replicated servers, Multi-Krum + Median).
 
-Only the Byzantine-resilient deployment is expected to learn.
+Only the Byzantine-resilient deployment is expected to learn.  Each run is a
+single ``repro.train(...)`` call — the one-line entry point over the
+streaming Session engine.
 
 Run with:  python examples/msmw_under_attack.py
 """
 
 from __future__ import annotations
 
-from repro.core import ClusterConfig, Controller
+import repro
 
 ATTACKS = ("random", "reversed")
 ITERATIONS = 40
 
 
 def run(deployment: str, attack: str, **overrides) -> float:
-    config = ClusterConfig(
+    result = repro.train(
         deployment=deployment,
         num_workers=7,
         num_byzantine_workers=1,
@@ -40,7 +42,6 @@ def run(deployment: str, attack: str, **overrides) -> float:
         seed=7,
         **overrides,
     )
-    result = Controller(config).run()
     return result.final_accuracy
 
 

@@ -18,6 +18,8 @@ with one line per problem.
 
 from __future__ import annotations
 
+import ast
+import functools
 import re
 import sys
 from pathlib import Path
@@ -28,6 +30,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Documents that make up the documentation surface.
 DOCUMENTS = (
     "README.md",
+    "docs/api.md",
     "docs/architecture.md",
     "docs/benchmarks.md",
     "docs/scenarios.md",
@@ -82,6 +85,38 @@ def resolves_to_module(parts: List[str]) -> bool:
     return base.with_suffix(".py").is_file() or (base / "__init__.py").is_file()
 
 
+@functools.lru_cache(maxsize=1)
+def top_level_exports() -> frozenset:
+    """Names the top-level package exports (``repro.train`` and friends).
+
+    Parsed from the ``__all__`` / ``_LAZY_EXPORTS`` assignments in
+    ``src/repro/__init__.py`` via the AST — not a raw string scan, so quoted
+    words in docstrings cannot masquerade as exports — keeping the checker
+    import-free.
+    """
+    init = REPO_ROOT / "src" / "repro" / "__init__.py"
+    if not init.is_file():  # pragma: no cover - the package always exists
+        return frozenset()
+    names: set = set()
+    for node in ast.walk(ast.parse(init.read_text(encoding="utf-8"))):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = {t.id for t in node.targets if isinstance(t, ast.Name)}
+        if "__all__" in targets and isinstance(node.value, (ast.List, ast.Tuple)):
+            names.update(
+                element.value
+                for element in node.value.elts
+                if isinstance(element, ast.Constant) and isinstance(element.value, str)
+            )
+        if "_LAZY_EXPORTS" in targets and isinstance(node.value, ast.Dict):
+            names.update(
+                key.value
+                for key in node.value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            )
+    return frozenset(names)
+
+
 def check_module_references(doc: str, text: str) -> List[str]:
     problems = []
     for token in set(BACKTICK_RE.findall(text)):
@@ -91,8 +126,12 @@ def check_module_references(doc: str, text: str) -> List[str]:
         # Accept `repro.pkg.module` as well as attribute references like
         # `repro.pkg.module.ClassName` — some prefix of at least two
         # components must resolve to a real module.
-        if not any(resolves_to_module(parts[:cut]) for cut in range(len(parts), 1, -1)):
-            problems.append(f"{doc}: dotted reference '{token}' is not a repro module")
+        if any(resolves_to_module(parts[:cut]) for cut in range(len(parts), 1, -1)):
+            continue
+        # ... and `repro.<name>` for the package's lazily-exported API.
+        if len(parts) == 2 and parts[1] in top_level_exports():
+            continue
+        problems.append(f"{doc}: dotted reference '{token}' is not a repro module")
     return problems
 
 

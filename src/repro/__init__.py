@@ -32,9 +32,57 @@ library (DSN 2021).  It is organised as a stack of subpackages:
 ``repro.apps``
     The three applications evaluated in the paper (SSMW, MSMW and
     decentralized learning) together with the vanilla, AggregaThor and
-    crash-tolerant baselines.
+    crash-tolerant baselines — each a declarative
+    :class:`~repro.core.session.RoundStrategy` executed by the streaming
+    Session engine.
+
+The public training API is the streaming Session surface (lazily imported so
+``import repro`` stays light)::
+
+    import repro
+
+    session = repro.SessionBuilder().deployment("ssmw").workers(8, byzantine=2).build()
+    for round_result in session:
+        print(round_result.iteration, round_result.accuracy)
+
+    result = repro.train(deployment="ssmw", num_workers=8, num_byzantine_workers=2)
 """
 
 from repro.version import __version__
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    "Session",
+    "SessionBuilder",
+    "RoundStrategy",
+    "RoundResult",
+    "register_application",
+    "available_applications",
+    "train",
+]
+
+#: Lazy attribute table: name -> providing module (PEP 562).
+_LAZY_EXPORTS = {
+    "Session": "repro.core.session",
+    "SessionBuilder": "repro.core.session",
+    "RoundStrategy": "repro.core.session",
+    "RoundResult": "repro.core.session",
+    "register_application": "repro.core.session",
+    "available_applications": "repro.core.session",
+    "train": "repro.core.session",
+}
+
+
+def __getattr__(name):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_LAZY_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute '{name}'")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

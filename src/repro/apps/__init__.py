@@ -1,47 +1,55 @@
 """The Garfield applications evaluated in the paper (Section 5) and baselines.
 
-Each application is a function taking a fully built
-:class:`~repro.core.controller.Deployment` and driving its training loop,
-appending one :class:`~repro.core.metrics.IterationRecord` per iteration to
-the deployment's metrics log.  ``run_application`` dispatches on the
-deployment name; the analytic throughput model used by the benchmark harness
-lives in :mod:`repro.apps.throughput`.
+Each application is a :class:`~repro.core.session.RoundStrategy` — a
+declarative description of one deployment's scatter → aggregate → apply round
+— registered with :func:`~repro.core.session.register_application` and
+executed by the single round engine in :mod:`repro.core.session`.  Importing
+this package registers the six bundled strategies; third-party strategies
+plug into the same registry with the decorator.
+
+The historical imperative entry points survive as thin shims:
+``run_application(deployment)`` streams a Session to completion (no warning;
+it is the internal dispatch), while ``run_vanilla`` / ``run_ssmw`` / … emit a
+:class:`DeprecationWarning` and produce byte-identical traces.  The analytic
+throughput model used by the benchmark harness lives in
+:mod:`repro.apps.throughput`.
 """
 
-from typing import Callable, Dict
+from repro.core.session import (
+    APPLICATION_REGISTRY,
+    ApplicationsView,
+    RoundStrategy,
+    available_applications,
+    register_application,
+    run_application,
+)
 
-from repro.core.controller import Deployment
-from repro.exceptions import ConfigurationError
-
-from repro.apps.vanilla import run_vanilla
-from repro.apps.aggregathor import run_aggregathor
-from repro.apps.crash_tolerant import run_crash_tolerant
-from repro.apps.ssmw import run_ssmw
-from repro.apps.msmw import run_msmw
-from repro.apps.decentralized import run_decentralized
+from repro.apps.vanilla import VanillaStrategy, run_vanilla
+from repro.apps.aggregathor import AggregathorStrategy, run_aggregathor
+from repro.apps.crash_tolerant import CrashTolerantStrategy, run_crash_tolerant
+from repro.apps.ssmw import SSMWStrategy, run_ssmw
+from repro.apps.msmw import MSMWStrategy, run_msmw
+from repro.apps.decentralized import DecentralizedStrategy, run_decentralized
 from repro.apps.throughput import ThroughputModel, iteration_breakdown
 
-APPLICATIONS: Dict[str, Callable[[Deployment], None]] = {
-    "vanilla": run_vanilla,
-    "aggregathor": run_aggregathor,
-    "crash-tolerant": run_crash_tolerant,
-    "ssmw": run_ssmw,
-    "msmw": run_msmw,
-    "decentralized": run_decentralized,
-}
-
-
-def run_application(deployment: Deployment) -> None:
-    """Run the training loop matching the deployment's configured application."""
-    name = deployment.config.deployment
-    if name not in APPLICATIONS:
-        raise ConfigurationError(f"no application registered for deployment '{name}'")
-    APPLICATIONS[name](deployment)
+#: Deprecated live view over the strategy registry; ``APPLICATIONS[name]``
+#: returns the legacy (warning) runner for that application.
+APPLICATIONS = ApplicationsView()
 
 
 __all__ = [
     "APPLICATIONS",
+    "APPLICATION_REGISTRY",
+    "RoundStrategy",
+    "available_applications",
+    "register_application",
     "run_application",
+    "VanillaStrategy",
+    "AggregathorStrategy",
+    "CrashTolerantStrategy",
+    "SSMWStrategy",
+    "MSMWStrategy",
+    "DecentralizedStrategy",
     "run_vanilla",
     "run_aggregathor",
     "run_crash_tolerant",

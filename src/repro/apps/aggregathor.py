@@ -3,8 +3,8 @@
 AggregaThor is the prior-art comparator: a TensorFlow-integrated system that
 tolerates Byzantine workers only, with one trusted central server, Multi-Krum
 aggregation, CPU-only training and the shared-graph design (hardened so
-workers cannot modify the graph).  Its training loop is therefore the same
-robust-aggregation loop as SSMW; what differs is the communication stack —
+workers cannot modify the graph).  Its training round is therefore the same
+robust-aggregation round as SSMW; what differs is the communication stack —
 the shared TensorFlow graph avoids Garfield's per-message serialization
 context switches but is tied to the single-server architecture.  The cost
 model reflects that through the ``shared_graph`` flag used by
@@ -15,38 +15,34 @@ learning-rate handicap.
 
 Byzantine tolerance: up to ``f_w`` Byzantine workers under Multi-Krum's
 ``n_w >= 2 f_w + 3`` precondition; the single server is trusted
-(``f_ps = 0``) and cannot be replicated in this architecture.  The loop is
-backend-agnostic: the same robust-aggregation round runs unchanged whether
-workers are in-process handlers or OS subprocesses (``executor="process"``).
+(``f_ps = 0``) and cannot be replicated in this architecture.
 """
 
 from __future__ import annotations
 
-from repro.apps.common import RoundAccountant, should_evaluate
 from repro.core.controller import Deployment
+from repro.core.session import RoundStrategy, deprecated_runner, register_application
 
 #: Relative optimizer-efficiency handicap of the TF 1.10 stack (Figure 4a).
 LEGACY_STACK_FACTOR = 0.8
 
 
-def run_aggregathor(deployment: Deployment) -> None:
-    """Run the AggregaThor-style loop: Multi-Krum on one trusted CPU server."""
-    config = deployment.config
-    server = deployment.servers[0]
-    gar = deployment.gradient_gar
-    accountant = RoundAccountant(deployment, server)
-    quorum = config.gradient_quorum()
+@register_application("aggregathor")
+class AggregathorStrategy(RoundStrategy):
+    """The SSMW round on a legacy framework stack.
 
-    # Model the older framework stack as a slightly less effective update.
-    server.optimizer.lr = server.optimizer.lr * LEGACY_STACK_FACTOR
+    Identical scatter → aggregate → apply phases; ``setup`` models the older
+    TensorFlow pin as a slightly less effective update.
+    """
 
-    for iteration in range(config.num_iterations):
-        deployment.begin_round(iteration)
-        accountant.begin()
-        gradients = server.get_gradient_matrix(iteration, quorum)
-        aggregated = gar(gradients=gradients, f=config.num_byzantine_workers)
-        accountant.add_aggregation(gar)
-        server.update_model(aggregated)
+    def setup(self, deployment: Deployment) -> None:
+        # Idempotent per deployment: a second Session over the same cluster
+        # (reuse, resume) must not compound the handicap.
+        optimizer = deployment.servers[0].optimizer
+        if not getattr(optimizer, "_legacy_stack_handicap", False):
+            optimizer.lr = optimizer.lr * LEGACY_STACK_FACTOR
+            optimizer._legacy_stack_handicap = True
 
-        accuracy = server.compute_accuracy() if should_evaluate(deployment, iteration) else None
-        accountant.end(iteration, accuracy=accuracy)
+
+#: Deprecated imperative runner; drive a Session instead.
+run_aggregathor = deprecated_runner("aggregathor")

@@ -1,93 +1,18 @@
-"""Shared helpers for the application training loops."""
+"""Shared helpers for the application strategies.
+
+The round accounting and evaluation schedule moved into the round engine
+(:mod:`repro.core.session`) when the applications became
+:class:`~repro.core.session.RoundStrategy` objects; they are re-exported here
+so existing imports keep working.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
-from repro.core.controller import Deployment
-from repro.core.metrics import IterationRecord
-from repro.core.server import Server
+from repro.core.session import RoundAccountant, should_evaluate
 
-
-class RoundAccountant:
-    """Builds an :class:`IterationRecord` for one training iteration.
-
-    The record's three time components follow the Figure 7 breakdown:
-
-    * *computation* — one worker's gradient-estimation time (workers compute
-      in parallel, so the round pays the time of one estimate);
-    * *communication* — the pull latencies observed by the reporting server
-      plus the serialization / context-switch overhead of the messages it
-      exchanged (zero for vanilla deployments, Section 4.1);
-    * *aggregation* — the robust-aggregation time of every GAR invocation the
-      reporting server performed this round.
-    """
-
-    def __init__(self, deployment: Deployment, reporting_server: Server) -> None:
-        self.deployment = deployment
-        self.server = reporting_server
-        self._comm_start = 0.0
-        self._messages_start = 0
-        self._aggregation_time = 0.0
-
-    # ------------------------------------------------------------------ #
-    def begin(self) -> None:
-        self._comm_start = self.server.gradient_comm_time + self.server.model_comm_time
-        self._messages_start = self.server.messages_exchanged
-        self._aggregation_time = 0.0
-
-    def add_aggregation(self, gar, dimension: Optional[int] = None) -> None:
-        """Account one GAR invocation at the given dimension (defaults to the model's)."""
-        dimension = dimension if dimension is not None else self.server.dimension
-        self._aggregation_time += self.deployment.cost_model.aggregation_time(gar, dimension)
-
-    def end(
-        self,
-        iteration: int,
-        accuracy: Optional[float] = None,
-        loss: Optional[float] = None,
-    ) -> IterationRecord:
-        config = self.deployment.config
-        dimension = self.server.dimension
-        comm = (self.server.gradient_comm_time + self.server.model_comm_time) - self._comm_start
-        messages = self.server.messages_exchanged - self._messages_start
-        vanilla = config.deployment == "vanilla"
-        comm += self.deployment.cost_model.serialization_time(dimension, messages, vanilla=vanilla)
-        compute = self.deployment.cost_model.compute_time(dimension, config.batch_size)
-        trace = self.deployment.trace
-        if trace is not None:
-            # Scenario-driven runs also record the test loss at evaluation
-            # rounds, so golden traces lock down convergence, not just
-            # accuracy plateaus.
-            if accuracy is not None and loss is None:
-                loss = self.server.compute_loss()
-            trace.end_round(
-                iteration,
-                quorum=len(self.server.last_gradient_sources),
-                gradient_sources=self.server.last_gradient_sources,
-                update_norm=self.server.last_update_norm,
-                accuracy=accuracy,
-                loss=loss,
-            )
-        record = IterationRecord(
-            iteration=iteration,
-            compute_time=compute,
-            communication_time=comm,
-            aggregation_time=self._aggregation_time,
-            accuracy=accuracy,
-            loss=loss,
-        )
-        self.deployment.metrics.add(record)
-        return record
-
-
-def should_evaluate(deployment: Deployment, iteration: int) -> bool:
-    """Whether the reporting server measures accuracy at this iteration."""
-    every = deployment.config.accuracy_every
-    last = deployment.config.num_iterations - 1
-    return iteration % every == 0 or iteration == last
+__all__ = ["RoundAccountant", "should_evaluate", "finite_or_raise"]
 
 
 def finite_or_raise(vector: np.ndarray, what: str) -> np.ndarray:

@@ -19,48 +19,55 @@ failure-injector view the director maintains.
 
 from __future__ import annotations
 
-from repro.apps.common import RoundAccountant, should_evaluate
 from repro.core.controller import Deployment
+from repro.core.server import Server
+from repro.core.session import RoundContext, RoundStrategy, deprecated_runner, register_application
 from repro.exceptions import NodeCrashedError, TrainingError
 
 
-def run_crash_tolerant(deployment: Deployment) -> None:
-    """Run the primary/backup averaging protocol over all server replicas."""
-    config = deployment.config
-    servers = deployment.servers
-    gar = deployment.gradient_gar  # Average
-    quorum = config.num_workers
+@register_application("crash-tolerant")
+class CrashTolerantStrategy(RoundStrategy):
+    """Primary/backup averaging with failover at the round boundary.
 
-    primary_index = 0
-    accountant = RoundAccountant(deployment, servers[primary_index])
+    The reporting server is the current primary; scenario events apply before
+    :meth:`reporting_server` runs, so a crash injected at round ``t``
+    triggers the failover within the same round.  Every alive replica
+    collects all gradients and applies the average, so any of them can take
+    over as primary at the next iteration.
+    """
 
-    for iteration in range(config.num_iterations):
-        # Apply scheduled scenario events first so a crash injected at round t
-        # triggers the failover below within the same round.
-        deployment.begin_round(iteration)
-        # Fail over if the primary crashed; the new primary's model may lag by
+    _primary_index = 0
+
+    def setup(self, deployment: Deployment) -> None:
+        self._primary_index = 0
+
+    def reporting_server(self, deployment: Deployment, iteration: int) -> Server:
+        servers = deployment.servers
+        failures = deployment.transport.failures
+        # Fail over past crashed primaries; the new primary's model may lag by
         # a few updates, which is acceptable for eventual convergence.
-        while deployment.transport.failures.is_crashed(servers[primary_index].node_id):
-            primary_index += 1
-            if primary_index >= len(servers):
+        while failures.is_crashed(servers[self._primary_index].node_id):
+            self._primary_index += 1
+            if self._primary_index >= len(servers):
                 raise TrainingError("all server replicas have crashed")
-            accountant = RoundAccountant(deployment, servers[primary_index])
-        primary = servers[primary_index]
+        return servers[self._primary_index]
 
-        accountant.begin()
-        # Every alive replica collects all gradients and applies the average,
-        # so any of them can take over as primary at the next iteration.
-        for server in servers[primary_index:]:
+    def run_round(self, ctx: RoundContext) -> None:
+        deployment = ctx.deployment
+        gar = deployment.gradient_gar  # Average
+        quorum = ctx.config.num_workers
+        for server in deployment.servers[self._primary_index:]:
             if deployment.transport.failures.is_crashed(server.node_id):
                 continue
             try:
-                gradients = server.get_gradient_matrix(iteration, quorum)
+                gradients = server.get_gradient_matrix(ctx.iteration, quorum)
             except NodeCrashedError:  # pragma: no cover - defensive
                 continue
             aggregated = gar.aggregate_matrix(gradients)
-            if server is primary:
-                accountant.add_aggregation(gar)
+            if server is ctx.server:
+                ctx.account(gar)
             server.update_model(aggregated)
 
-        accuracy = primary.compute_accuracy() if should_evaluate(deployment, iteration) else None
-        accountant.end(iteration, accuracy=accuracy)
+
+#: Deprecated imperative runner; drive a Session instead.
+run_crash_tolerant = deprecated_runner("crash-tolerant")

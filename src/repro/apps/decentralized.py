@@ -23,77 +23,72 @@ from typing import Dict
 
 import numpy as np
 
-from repro.apps.common import RoundAccountant, should_evaluate
 from repro.core.byzantine import ByzantineServer
-from repro.core.controller import Deployment
+from repro.core.session import RoundContext, RoundStrategy, deprecated_runner, register_application
 
 
-def _contract(deployment: Deployment, honest, aggregated: Dict[str, np.ndarray], iteration: int, accountant) -> Dict[str, np.ndarray]:
+def _contract(ctx: RoundContext, honest, aggregated: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
     """The contract(...) helper of Listing 3: multi-round gradient re-aggregation."""
-    config = deployment.config
-    gar = deployment.gradient_gar
+    config = ctx.config
+    gar = ctx.deployment.gradient_gar
     quorum = max(1, config.num_workers - config.num_byzantine_workers - 1)
     for _ in range(config.contract_steps):
         # Publish the current aggregate, then everybody pulls and re-aggregates.
-        for server in deployment.servers:
+        for server in ctx.deployment.servers:
             if isinstance(server, ByzantineServer):
                 continue
             server.latest_aggr_grad = aggregated[server.node_id]
         refreshed: Dict[str, np.ndarray] = {}
         for server in honest:
             peer_grads = server.get_aggr_grad_matrix(
-                quorum, iteration=iteration, extra=aggregated[server.node_id]
+                quorum, iteration=ctx.iteration, extra=aggregated[server.node_id]
             )
             refreshed[server.node_id] = gar(gradients=peer_grads, f=config.num_byzantine_workers)
-            if server is deployment.primary:
-                accountant.add_aggregation(gar)
+            if server is ctx.server:
+                ctx.account(gar)
         aggregated = refreshed
     return aggregated
 
 
-def run_decentralized(deployment: Deployment) -> None:
-    """Run Listing 3 on every honest node."""
-    config = deployment.config
-    honest = deployment.honest_servers
-    reporting = deployment.primary
-    gar = deployment.gradient_gar
-    model_gar = deployment.model_gar
-    accountant = RoundAccountant(deployment, reporting)
+@register_application("decentralized")
+class DecentralizedStrategy(RoundStrategy):
+    """Listing 3 on every honest node: gradients, optional contraction, models."""
 
-    gradient_quorum = config.gradient_quorum()
-    model_quorum = config.model_quorum()
-
-    for iteration in range(config.num_iterations):
-        deployment.begin_round(iteration)
-        accountant.begin()
+    def run_round(self, ctx: RoundContext) -> None:
+        deployment, config = ctx.deployment, ctx.config
+        gar, model_gar = deployment.gradient_gar, deployment.model_gar
+        honest = deployment.honest_servers
 
         # Phase 1 — every node aggregates the gradients of its peers.
         aggregated: Dict[str, np.ndarray] = {}
         for server in honest:
-            gradients = server.get_gradient_matrix(iteration, gradient_quorum)
+            gradients = server.get_gradient_matrix(ctx.iteration, config.gradient_quorum())
             aggregated[server.node_id] = gar(gradients=gradients, f=config.num_byzantine_workers)
-            if server is reporting:
-                accountant.add_aggregation(gar)
+            if server is ctx.server:
+                ctx.account(gar)
 
         # Phase 2 — contract the aggregated gradients when data is non-iid.
         if config.non_iid:
-            aggregated = _contract(deployment, honest, aggregated, iteration, accountant)
-
+            aggregated = _contract(ctx, honest, aggregated)
         for server in honest:
             server.update_model(aggregated[server.node_id])
 
         # Phase 3 — exchange and robustly aggregate the model states.
         new_models: Dict[str, np.ndarray] = {}
         for server in honest:
-            models = server.get_model_matrix(model_quorum, iteration=iteration, include_self=True)
+            models = server.get_model_matrix(
+                config.model_quorum(), iteration=ctx.iteration, include_self=True
+            )
             new_models[server.node_id] = model_gar.aggregate_matrix(models)
-            if server is reporting:
-                accountant.add_aggregation(model_gar)
+            if server is ctx.server:
+                ctx.account(model_gar)
         for server in honest:
             server.write_model(new_models[server.node_id])
 
         deployment.alignment.maybe_sample(
-            iteration, [server.flat_parameters() for server in honest]
+            ctx.iteration, [server.flat_parameters() for server in honest]
         )
-        accuracy = reporting.compute_accuracy() if should_evaluate(deployment, iteration) else None
-        accountant.end(iteration, accuracy=accuracy)
+
+
+#: Deprecated imperative runner; drive a Session instead.
+run_decentralized = deprecated_runner("decentralized")

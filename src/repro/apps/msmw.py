@@ -27,47 +27,46 @@ observes exactly the state the in-process path would.
 
 from __future__ import annotations
 
-from repro.apps.common import RoundAccountant, should_evaluate
-from repro.core.controller import Deployment
+from typing import Dict
+
+import numpy as np
+
+from repro.core.session import RoundContext, RoundStrategy, deprecated_runner, register_application
 
 
-def run_msmw(deployment: Deployment) -> None:
-    """Run Listing 2 on every honest server replica."""
-    config = deployment.config
-    honest = deployment.honest_servers
-    reporting = deployment.primary
-    gar = deployment.gradient_gar
-    model_gar = deployment.model_gar
-    accountant = RoundAccountant(deployment, reporting)
+@register_application("msmw")
+class MSMWStrategy(RoundStrategy):
+    """Listing 2 on every honest server replica: gradients, then models."""
 
-    gradient_quorum = config.gradient_quorum()
-    model_quorum = config.model_quorum()
-
-    for iteration in range(config.num_iterations):
-        deployment.begin_round(iteration)
-        accountant.begin()
+    def run_round(self, ctx: RoundContext) -> None:
+        deployment, config = ctx.deployment, ctx.config
+        gar, model_gar = deployment.gradient_gar, deployment.model_gar
+        honest = deployment.honest_servers
         for server in honest:
-            gradients = server.get_gradient_matrix(iteration, gradient_quorum)
+            gradients = server.get_gradient_matrix(ctx.iteration, config.gradient_quorum())
             aggregated = gar(gradients=gradients, f=config.num_byzantine_workers)
-            if server is reporting:
-                accountant.add_aggregation(gar)
+            if server is ctx.server:
+                ctx.account(gar)
             server.update_model(aggregated)
 
         # Second communication round: contract the replicas' models.  Each
         # replica's round buffer holds the peer models plus its own state as
         # the final row — the layout the model GAR aggregates directly.
-        new_models = {}
+        new_models: Dict[str, np.ndarray] = {}
         for server in honest:
-            models = server.get_model_matrix(model_quorum, iteration=iteration, include_self=True)
-            aggregated_model = model_gar.aggregate_matrix(models)
-            if server is reporting:
-                accountant.add_aggregation(model_gar)
-            new_models[server.node_id] = aggregated_model
+            models = server.get_model_matrix(
+                config.model_quorum(), iteration=ctx.iteration, include_self=True
+            )
+            new_models[server.node_id] = model_gar.aggregate_matrix(models)
+            if server is ctx.server:
+                ctx.account(model_gar)
         for server in honest:
             server.write_model(new_models[server.node_id])
 
         deployment.alignment.maybe_sample(
-            iteration, [server.flat_parameters() for server in honest]
+            ctx.iteration, [server.flat_parameters() for server in honest]
         )
-        accuracy = reporting.compute_accuracy() if should_evaluate(deployment, iteration) else None
-        accountant.end(iteration, accuracy=accuracy)
+
+
+#: Deprecated imperative runner; drive a Session instead.
+run_msmw = deprecated_runner("msmw")

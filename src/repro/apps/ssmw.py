@@ -13,35 +13,27 @@ the threaded executor the workers are serviced concurrently and a straggler
 delays the round by at most its own service time instead of serializing
 behind every other worker.
 
-The loop itself is backend-agnostic: under ``executor="process"`` every
-worker is a separate OS subprocess reached over TCP
-(:mod:`repro.network.rpc`) and the same fixed seed reproduces the same
-canonical trace — the determinism contract of :mod:`repro.core.executor`.
+The strategy is backend-agnostic: under ``executor="process"`` every worker
+is a separate OS subprocess reached over TCP (:mod:`repro.network.rpc`) and
+the same fixed seed reproduces the same canonical trace — the determinism
+contract of :mod:`repro.core.executor`.
 """
 
 from __future__ import annotations
 
-from repro.apps.common import RoundAccountant, should_evaluate
-from repro.core.controller import Deployment
+from repro.core.session import RoundStrategy, deprecated_runner, register_application
 
 
-def run_ssmw(deployment: Deployment) -> None:
-    """Run Listing 1: robust aggregation of worker gradients on one trusted server."""
-    config = deployment.config
-    server = deployment.servers[0]
-    gar = deployment.gradient_gar
-    accountant = RoundAccountant(deployment, server)
-    quorum = config.gradient_quorum()
+@register_application("ssmw")
+class SSMWStrategy(RoundStrategy):
+    """Listing 1 verbatim: the base scatter → aggregate → apply round.
 
-    for iteration in range(config.num_iterations):
-        deployment.begin_round(iteration)
-        accountant.begin()
-        # Zero-copy hot path: replies land in the server's round buffer and
-        # the GAR consumes the (q, d) view directly — no restacking.
-        gradients = server.get_gradient_matrix(iteration, quorum)
-        aggregated = gar(gradients=gradients, f=config.num_byzantine_workers)
-        accountant.add_aggregation(gar)
-        server.update_model(aggregated)
+    ``scatter`` pulls a robust gradient quorum into the server's round buffer
+    (zero-copy ``(q, d)`` view), ``aggregate`` runs the configured gradient
+    GAR with the declared ``f_w``, ``apply`` takes one SGD step — exactly the
+    defaults of :class:`~repro.core.session.RoundStrategy`.
+    """
 
-        accuracy = server.compute_accuracy() if should_evaluate(deployment, iteration) else None
-        accountant.end(iteration, accuracy=accuracy)
+
+#: Deprecated imperative runner; drive a Session instead.
+run_ssmw = deprecated_runner("ssmw")

@@ -5,31 +5,33 @@ collection.  This is what an unmodified TensorFlow / PyTorch deployment does
 and it fails under any Byzantine behaviour — which Figure 5 demonstrates.
 
 Byzantine tolerance: **none** (``f_w = f_ps = 0``); a single malicious
-worker controls the average.  Like every application loop the collection
-runs through the deployment's execution engine, so the baseline too can be
+worker controls the average.  Like every strategy the collection runs
+through the deployment's execution engine, so the baseline too can be
 driven with workers as real subprocesses (``executor="process"``).
 """
 
 from __future__ import annotations
 
-from repro.apps.common import RoundAccountant, should_evaluate
-from repro.core.controller import Deployment
+import numpy as np
+
+from repro.core.session import RoundContext, RoundStrategy, deprecated_runner, register_application
 
 
-def run_vanilla(deployment: Deployment) -> None:
-    """Run the vanilla averaging loop on the single parameter server."""
-    config = deployment.config
-    server = deployment.servers[0]
-    accountant = RoundAccountant(deployment, server)
-    gar = deployment.gradient_gar  # Average for this deployment
+@register_application("vanilla")
+class VanillaStrategy(RoundStrategy):
+    """Plain averaging on the single trusted server, always over all workers."""
 
-    for iteration in range(config.num_iterations):
-        deployment.begin_round(iteration)
-        accountant.begin()
-        gradients = server.get_gradient_matrix(iteration, config.num_workers)
+    def scatter(self, ctx: RoundContext) -> np.ndarray:
+        # Synchronous and fault-oblivious: waits for every worker regardless
+        # of the asynchronous flag.
+        return ctx.server.get_gradient_matrix(ctx.iteration, ctx.config.num_workers)
+
+    def aggregate(self, ctx: RoundContext, gradients: np.ndarray) -> np.ndarray:
+        gar = ctx.deployment.gradient_gar  # Average for this deployment
         aggregated = gar.aggregate_matrix(gradients)
-        accountant.add_aggregation(gar)
-        server.update_model(aggregated)
+        ctx.account(gar)
+        return aggregated
 
-        accuracy = server.compute_accuracy() if should_evaluate(deployment, iteration) else None
-        accountant.end(iteration, accuracy=accuracy)
+
+#: Deprecated imperative runner; drive a Session instead.
+run_vanilla = deprecated_runner("vanilla")

@@ -32,8 +32,8 @@ from repro.aggregators import available_gars
 from repro.attacks import available_attacks
 from repro.core.cluster import ClusterConfig
 from repro.core.executor import available_executors
-from repro.core.controller import Controller
 from repro.core.scenario import SCENARIO_LIBRARY, available_scenarios, config_for_scenario
+from repro.core.session import Session, available_applications
 from repro.network.topology import DEPLOYMENTS
 from repro.nn.models import MODEL_REGISTRY, PAPER_MODEL_DIMENSIONS
 from repro.version import __version__
@@ -94,6 +94,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-output", help="write the deterministic scenario trace to this JSON file"
     )
     run_parser.add_argument("--output", help="write the TrainingResult to this JSON file")
+    run_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="print one line per training round as the session streams "
+        "(iteration, quorum, update norm, loss/accuracy)",
+    )
+    run_parser.add_argument(
+        "--until",
+        type=int,
+        default=None,
+        help="stop the session after this many rounds (exclusive bound; "
+        "default: run the configured num_iterations)",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     # ------------------------------------------------------------------ #
@@ -120,7 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 # ---------------------------------------------------------------------- #
 def _cmd_list(args: argparse.Namespace) -> int:
-    print("deployments :", ", ".join(sorted(DEPLOYMENTS)))
+    print("deployments :", ", ".join(available_applications()))
     print("GARs        :", ", ".join(available_gars()))
     print("attacks     :", ", ".join(available_attacks()))
     print("models      :", ", ".join(sorted(MODEL_REGISTRY)))
@@ -141,6 +154,20 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         for event in spec.events:
             print(f"    round {event.round:3d}  {_format_event(event.action, event.target, event.value)}")
     return 0
+
+
+def _print_round(result) -> None:
+    """One streamed line per round (``repro run --stream``)."""
+    quality = ""
+    if result.loss is not None:
+        quality += f"  loss {result.loss:.4f}"
+    if result.accuracy is not None:
+        quality += f"  accuracy {result.accuracy:.3f}"
+    norm = "n/a" if result.update_norm is None else f"{result.update_norm:.4f}"
+    print(
+        f"round {result.iteration:4d}  quorum {result.quorum:2d}  "
+        f"update-norm {norm}{quality}"
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -172,7 +199,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = config_for_scenario(args.scenario, **kwargs)
     else:
         config = ClusterConfig(**kwargs)
-    result = Controller(config).run()
+    # The CLI is a thin wrapper over the streaming Session API: one engine
+    # behind every deployment, whether the rounds are streamed or batched.
+    with Session(config=config) as session:
+        if args.stream:
+            session.on_round(_print_round)
+        session.run(until=args.until)
+    result = session.result()
     print(result.summary())
     if result.trace is not None:
         print(f"scenario '{result.trace.scenario}' trace fingerprint {result.trace.fingerprint()}")

@@ -20,6 +20,12 @@ This package mirrors the component diagram of Figure 1 in the paper:
 * :mod:`repro.core.scenario` — declarative chaos scenarios: round-indexed
   failure/attack timelines applied by a director at round boundaries, with
   deterministic per-round traces.
+* :mod:`repro.core.session` — the streaming Session API: one round engine
+  executing per-deployment :class:`~repro.core.session.RoundStrategy`
+  objects, with pause/resume, ``run(until=...)``, early-stop predicates,
+  round callbacks, mid-run checkpoints and the fluent
+  :class:`~repro.core.session.SessionBuilder` / :func:`~repro.core.session.train`
+  entry points.
 """
 
 from repro.core.cluster import ClusterConfig
@@ -49,12 +55,36 @@ from repro.core.scenario import (
     config_for_scenario,
     load_scenario,
 )
+from repro.core.session import (
+    APPLICATION_REGISTRY,
+    RoundContext,
+    RoundResult,
+    RoundStrategy,
+    Session,
+    SessionBuilder,
+    available_applications,
+    register_application,
+    resolve_application,
+    run_application,
+    train,
+)
 from repro.core.node import Node
 from repro.core.server import Server
 from repro.core.worker import Worker
 from repro.core.byzantine import ByzantineServer, ByzantineWorker
 
 __all__ = [
+    "APPLICATION_REGISTRY",
+    "RoundContext",
+    "RoundResult",
+    "RoundStrategy",
+    "Session",
+    "SessionBuilder",
+    "available_applications",
+    "register_application",
+    "resolve_application",
+    "run_application",
+    "train",
     "Node",
     "Server",
     "Worker",

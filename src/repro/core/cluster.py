@@ -86,9 +86,16 @@ class ClusterConfig:
     def validate(self) -> None:
         """Check structural and Byzantine-resilience constraints."""
         if self.deployment not in DEPLOYMENTS:
-            raise ConfigurationError(
-                f"unknown deployment '{self.deployment}'; choose from {DEPLOYMENTS}"
-            )
+            # Third-party strategies registered via @register_application are
+            # first-class deployments too; the structural checks below only
+            # constrain the six bundled shapes.
+            from repro.core.session import is_registered_application
+
+            if not is_registered_application(self.deployment):
+                raise ConfigurationError(
+                    f"unknown deployment '{self.deployment}'; bundled: {DEPLOYMENTS} "
+                    "(or register a RoundStrategy with @register_application)"
+                )
         if self.num_workers < 1:
             raise ConfigurationError("need at least one worker")
         if self.num_iterations < 1:

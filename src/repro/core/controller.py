@@ -4,8 +4,9 @@ In the paper the Controller parses cluster information (node jobs, IPs,
 ports), starts training over SSH and parses experiment parameters.  In this
 in-process reproduction it turns a :class:`~repro.core.cluster.ClusterConfig`
 into a fully wired :class:`Deployment` — transport, servers, workers,
-Byzantine variants, GAR instances, datasets — and launches the training loop
-of the selected application from :mod:`repro.apps`.
+Byzantine variants, GAR instances, datasets — and drives the selected
+application's :class:`~repro.core.session.RoundStrategy` through the
+streaming :class:`~repro.core.session.Session` engine.
 """
 
 from __future__ import annotations
@@ -61,7 +62,7 @@ class Deployment:
         return self.transport.executor
 
     def begin_round(self, iteration: int) -> List[Dict]:
-        """Round-boundary hook every application calls first in its loop.
+        """Round-boundary hook the session engine calls before any round phase.
 
         Applies the scenario events scheduled for ``iteration`` (if a
         director is attached) and opens the round's trace entry; a no-op for
@@ -345,12 +346,18 @@ class Controller:
 
     # ------------------------------------------------------------------ #
     def run(self, deployment: Optional[Deployment] = None) -> TrainingResult:
-        """Build (if needed) and run the configured application end to end."""
-        from repro.apps import run_application  # imported lazily to avoid a cycle
+        """Build (if needed) and run the configured application end to end.
+
+        A thin wrapper over the streaming engine: equivalent to driving a
+        :class:`~repro.core.session.Session` to completion and closing the
+        deployment.  Use a Session directly for per-round streaming,
+        pause/resume, early stopping or callbacks.
+        """
+        from repro.core.session import Session  # imported lazily to avoid a cycle
 
         deployment = deployment or self.build()
         try:
-            run_application(deployment)
+            Session(deployment).run()
         finally:
             # Release pool threads and any node subprocesses.  In-process
             # deployments may be driven again (the pool is re-created

@@ -14,9 +14,10 @@ makes those regimes first-class, reproducible workloads:
 * :class:`ScenarioDirector` — applies the events scheduled for a round at the
   round boundary by driving the deployment's
   :class:`~repro.network.failures.FailureInjector`, its Byzantine nodes'
-  attack objects and the cluster state.  Every application calls
-  ``deployment.begin_round(iteration)`` at the top of its loop, which invokes
-  the director and opens the round's :class:`~repro.core.metrics.Trace` entry.
+  attack objects and the cluster state.  The session round engine
+  (:mod:`repro.core.session`) calls ``deployment.begin_round(iteration)``
+  before any phase of a round runs, which invokes the director and opens the
+  round's :class:`~repro.core.metrics.Trace` entry.
 * :data:`SCENARIO_LIBRARY` — the bundled named scenarios
   (``calm_baseline``, ``crash_quorum_edge``, ``attack_onset_mid_training``,
   ``straggler_storm``, ``partition_heal``, ``churn_at_f_bound``) that the CLI

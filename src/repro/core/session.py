@@ -1,0 +1,833 @@
+"""Streaming training sessions: one round engine behind every deployment.
+
+Garfield's headline contribution is its *API* — three short listings that make
+any training loop Byzantine-resilient "transparently" (Section 5).  ByzSGD
+shows the server/worker phases of every such loop share one
+scatter→aggregate→apply skeleton, and this module is that skeleton made
+first-class:
+
+* :class:`RoundStrategy` — a declarative description of one deployment's
+  round: ``scatter`` (collect gradients/models through the zero-copy matrix
+  path), ``aggregate`` (run the GARs), ``apply`` (step the model).  Each of
+  the six applications in :mod:`repro.apps` is a small strategy subclass
+  registered with :func:`register_application`; third-party strategies plug
+  into the same registry.
+* :class:`Session` — the streaming driver.  ``for round_result in session:``
+  executes one round per step and yields a :class:`RoundResult` (iteration,
+  loss/accuracy, quorum sources, update norm).  Sessions support
+  ``pause()`` / ``resume()``, ``run(until=...)``, early-stop predicates,
+  user callbacks at round boundaries, and mid-run checkpoint / trace export.
+* :class:`SessionBuilder` / :func:`train` — the fluent entry points that
+  compose :class:`~repro.core.cluster.ClusterConfig`, a chaos scenario, an
+  executor backend, GARs and attacks from the existing registries.
+
+The engine reproduces the legacy ``run_*`` loops step for step: round
+boundaries call :meth:`~repro.core.controller.Deployment.begin_round` (which
+applies scenario events and opens the trace entry) *before* any user
+callback, the accountant brackets exactly the same communication, and
+evaluation happens at the same iterations — so the six checked-in golden
+traces stay byte-identical on the serial, threaded and process backends
+whether a run is streamed, paused and resumed, or driven end to end.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Type,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.controller import Controller, Deployment, TrainingResult
+from repro.core.metrics import IterationRecord
+from repro.core.server import Server
+from repro.exceptions import ConfigurationError
+
+
+# ---------------------------------------------------------------------- #
+# Round accounting (shared by every strategy; formerly repro.apps.common)
+# ---------------------------------------------------------------------- #
+class RoundAccountant:
+    """Builds an :class:`IterationRecord` for one training iteration.
+
+    The record's three time components follow the Figure 7 breakdown:
+
+    * *computation* — one worker's gradient-estimation time (workers compute
+      in parallel, so the round pays the time of one estimate);
+    * *communication* — the pull latencies observed by the reporting server
+      plus the serialization / context-switch overhead of the messages it
+      exchanged (zero for vanilla deployments, Section 4.1);
+    * *aggregation* — the robust-aggregation time of every GAR invocation the
+      reporting server performed this round.
+    """
+
+    def __init__(self, deployment: Deployment, reporting_server: Server) -> None:
+        self.deployment = deployment
+        self.server = reporting_server
+        self._comm_start = 0.0
+        self._messages_start = 0
+        self._aggregation_time = 0.0
+
+    # ------------------------------------------------------------------ #
+    def begin(self) -> None:
+        self._comm_start = self.server.gradient_comm_time + self.server.model_comm_time
+        self._messages_start = self.server.messages_exchanged
+        self._aggregation_time = 0.0
+
+    def add_aggregation(self, gar, dimension: Optional[int] = None) -> None:
+        """Account one GAR invocation at the given dimension (defaults to the model's)."""
+        dimension = dimension if dimension is not None else self.server.dimension
+        self._aggregation_time += self.deployment.cost_model.aggregation_time(gar, dimension)
+
+    def end(
+        self,
+        iteration: int,
+        accuracy: Optional[float] = None,
+        loss: Optional[float] = None,
+    ) -> IterationRecord:
+        config = self.deployment.config
+        dimension = self.server.dimension
+        comm = (self.server.gradient_comm_time + self.server.model_comm_time) - self._comm_start
+        messages = self.server.messages_exchanged - self._messages_start
+        vanilla = config.deployment == "vanilla"
+        comm += self.deployment.cost_model.serialization_time(dimension, messages, vanilla=vanilla)
+        compute = self.deployment.cost_model.compute_time(dimension, config.batch_size)
+        trace = self.deployment.trace
+        if trace is not None:
+            # Scenario-driven runs also record the test loss at evaluation
+            # rounds, so golden traces lock down convergence, not just
+            # accuracy plateaus.
+            if accuracy is not None and loss is None:
+                loss = self.server.compute_loss()
+            trace.end_round(
+                iteration,
+                quorum=len(self.server.last_gradient_sources),
+                gradient_sources=self.server.last_gradient_sources,
+                update_norm=self.server.last_update_norm,
+                accuracy=accuracy,
+                loss=loss,
+            )
+        record = IterationRecord(
+            iteration=iteration,
+            compute_time=compute,
+            communication_time=comm,
+            aggregation_time=self._aggregation_time,
+            accuracy=accuracy,
+            loss=loss,
+        )
+        self.deployment.metrics.add(record)
+        return record
+
+
+def should_evaluate(deployment: Deployment, iteration: int) -> bool:
+    """Whether the reporting server measures accuracy at this iteration.
+
+    The final iteration is always evaluated regardless of the interval, so a
+    run whose ``num_iterations`` is not a multiple of ``accuracy_every`` can
+    never end with a stale accuracy (locked by
+    ``tests/core/test_session.py``).
+    """
+    every = deployment.config.accuracy_every
+    last = deployment.config.num_iterations - 1
+    return iteration % every == 0 or iteration == last
+
+
+# ---------------------------------------------------------------------- #
+# Round context and per-round results
+# ---------------------------------------------------------------------- #
+@dataclass
+class RoundContext:
+    """Everything a :class:`RoundStrategy` phase needs for one round."""
+
+    deployment: Deployment
+    iteration: int
+    #: The reporting server — metrics and evaluation come from this replica.
+    server: Server
+    accountant: RoundAccountant
+
+    @property
+    def config(self):
+        return self.deployment.config
+
+    def account(self, gar, dimension: Optional[int] = None) -> None:
+        """Charge one GAR invocation performed by the reporting server."""
+        self.accountant.add_aggregation(gar, dimension)
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """One streamed record per training round, yielded by :class:`Session`."""
+
+    iteration: int
+    #: Scenario events applied at this round boundary (compact dict form).
+    events: Tuple[Dict[str, Any], ...]
+    #: Size and sources of the reporting server's last gradient quorum.
+    quorum: int
+    gradient_sources: Tuple[str, ...]
+    #: Norm of the last aggregated update the reporting server applied.
+    update_norm: Optional[float]
+    accuracy: Optional[float]
+    loss: Optional[float]
+    #: The timing record appended to the deployment's metrics log.
+    record: IterationRecord
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "iteration": self.iteration,
+            "events": [dict(event) for event in self.events],
+            "quorum": self.quorum,
+            "gradient_sources": list(self.gradient_sources),
+            "update_norm": self.update_norm,
+            "accuracy": self.accuracy,
+            "loss": self.loss,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# RoundStrategy and the application registry
+# ---------------------------------------------------------------------- #
+class RoundStrategy:
+    """One deployment's round, as scatter → aggregate → apply phases.
+
+    The default phases implement the single-trusted-server round of
+    Listing 1 (SSMW); strategies with more structure (replicated servers,
+    decentralized contraction, primary/backup failover) override
+    :meth:`run_round` or the individual phases.  Strategy instances are
+    created per session and may keep per-run state (e.g. the crash-tolerant
+    primary index).
+    """
+
+    #: Registry name; assigned by :func:`register_application`.
+    name: str = ""
+
+    # ------------------------------------------------------------------ #
+    def setup(self, deployment: Deployment) -> None:
+        """One-time preparation before the first round (default: nothing)."""
+
+    def reporting_server(self, deployment: Deployment, iteration: int) -> Server:
+        """The replica that reports metrics for this round (default: primary)."""
+        return deployment.primary
+
+    # ------------------------------------------------------------------ #
+    def run_round(self, ctx: RoundContext) -> None:
+        """Execute one full round: the scatter → aggregate → apply template."""
+        inputs = self.scatter(ctx)
+        update = self.aggregate(ctx, inputs)
+        self.apply(ctx, update)
+
+    def scatter(self, ctx: RoundContext) -> np.ndarray:
+        """Collect this round's inputs (default: a robust gradient quorum)."""
+        return ctx.server.get_gradient_matrix(ctx.iteration, ctx.config.gradient_quorum())
+
+    def aggregate(self, ctx: RoundContext, gradients: np.ndarray) -> np.ndarray:
+        """Robustly aggregate the collected inputs (default: the gradient GAR)."""
+        gar = ctx.deployment.gradient_gar
+        update = gar(gradients=gradients, f=ctx.config.num_byzantine_workers)
+        ctx.account(gar)
+        return update
+
+    def apply(self, ctx: RoundContext, update: np.ndarray) -> None:
+        """Apply the aggregated update (default: one SGD step, Equation 2)."""
+        ctx.server.update_model(update)
+
+
+#: Deployment name -> strategy class.  Populated by :func:`register_application`.
+APPLICATION_REGISTRY: Dict[str, Type[RoundStrategy]] = {}
+
+
+def register_application(name: str, *, replace: bool = False):
+    """Class decorator registering a :class:`RoundStrategy` under ``name``.
+
+    Third-party strategies use the same registry as the six bundled
+    applications; once registered, the name is accepted by
+    :class:`~repro.core.cluster.ClusterConfig`, :class:`Session` and
+    :func:`train`.  Re-registering an existing name raises unless
+    ``replace=True``.
+    """
+
+    if not name or not isinstance(name, str):
+        raise ConfigurationError("application names must be non-empty strings")
+
+    def decorator(cls: Type[RoundStrategy]) -> Type[RoundStrategy]:
+        if not (isinstance(cls, type) and issubclass(cls, RoundStrategy)):
+            raise ConfigurationError(
+                f"@register_application('{name}') needs a RoundStrategy subclass, got {cls!r}"
+            )
+        # Load the bundled strategies first so a third-party registration
+        # cannot silently claim a bundled name (no-op while they register
+        # themselves during that very import).
+        _ensure_builtin_strategies()
+        if name in APPLICATION_REGISTRY and not replace:
+            raise ConfigurationError(
+                f"application '{name}' is already registered "
+                f"({APPLICATION_REGISTRY[name].__name__}); pass replace=True to override"
+            )
+        cls.name = name
+        APPLICATION_REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+_BUILTINS_STATE = "unloaded"
+
+
+def _ensure_builtin_strategies() -> None:
+    # The six bundled strategies live in repro.apps and register themselves on
+    # import; imported lazily so parsing configs/specs stays import-light.
+    # The state guard makes the registrations happening *during* that import
+    # re-entrant instead of recursive.
+    global _BUILTINS_STATE
+    if _BUILTINS_STATE != "unloaded":
+        return
+    _BUILTINS_STATE = "loading"
+    try:
+        import repro.apps  # noqa: F401
+    except BaseException:
+        _BUILTINS_STATE = "unloaded"
+        raise
+    _BUILTINS_STATE = "loaded"
+
+
+def available_applications() -> List[str]:
+    """Names of every registered application strategy (bundled + third-party)."""
+    _ensure_builtin_strategies()
+    return sorted(APPLICATION_REGISTRY)
+
+
+def is_registered_application(name: str) -> bool:
+    """Whether ``name`` resolves to a registered strategy (without erroring)."""
+    if name in APPLICATION_REGISTRY:
+        return True
+    _ensure_builtin_strategies()
+    return name in APPLICATION_REGISTRY
+
+
+def resolve_application(name: str) -> RoundStrategy:
+    """Instantiate the registered strategy for ``name``."""
+    _ensure_builtin_strategies()
+    if name not in APPLICATION_REGISTRY:
+        raise ConfigurationError(
+            f"no application registered for deployment '{name}'; "
+            f"available: {available_applications()}"
+        )
+    return APPLICATION_REGISTRY[name]()
+
+
+# ---------------------------------------------------------------------- #
+# The streaming Session
+# ---------------------------------------------------------------------- #
+RoundCallback = Callable[[RoundResult], Any]
+RoundStartCallback = Callable[["Session", int, List[Dict[str, Any]]], Any]
+StopPredicate = Callable[[RoundResult], bool]
+
+
+class Session(Iterator[RoundResult]):
+    """A streaming, pausable training run over one deployment.
+
+    Iterate it (``for round_result in session:``) to execute one round per
+    step, or call :meth:`run` to drive it to completion.  The session owns no
+    training state of its own — everything lives in the deployment — so a
+    paused-and-resumed run is indistinguishable from an uninterrupted one.
+    """
+
+    def __init__(
+        self,
+        deployment: Optional[Deployment] = None,
+        *,
+        config=None,
+        strategy: Optional[RoundStrategy] = None,
+        early_stop: Optional[StopPredicate] = None,
+    ) -> None:
+        if deployment is None:
+            if config is None:
+                raise ConfigurationError("Session needs a deployment or a config")
+            deployment = Controller(config).build()
+        elif config is not None and config is not deployment.config:
+            raise ConfigurationError("pass either a deployment or a config, not both")
+        self.deployment = deployment
+        self.strategy = strategy or resolve_application(deployment.config.deployment)
+        self._early_stop = early_stop
+        self._round_callbacks: List[RoundCallback] = []
+        self._round_start_callbacks: List[RoundStartCallback] = []
+        self._next_round = 0
+        self._started = False
+        self._paused = False
+        self._finished = False
+        self.stopped_early = False
+        self._reporting: Optional[Server] = None
+        self._last_result: Optional[RoundResult] = None
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self):
+        return self.deployment.config
+
+    @property
+    def next_round(self) -> int:
+        """Index of the round the next step will execute."""
+        return self._next_round
+
+    @property
+    def rounds_run(self) -> int:
+        return self._next_round
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def trace(self):
+        """The deterministic scenario trace (``None`` for scenario-less runs)."""
+        return self.deployment.trace
+
+    @property
+    def last_result(self) -> Optional[RoundResult]:
+        return self._last_result
+
+    @property
+    def reporting_server(self) -> Server:
+        """The replica metrics are currently reported from."""
+        return self._reporting if self._reporting is not None else self.deployment.primary
+
+    # ------------------------------------------------------------------ #
+    # Callbacks and flow control
+    # ------------------------------------------------------------------ #
+    def on_round(self, callback: RoundCallback) -> "Session":
+        """Call ``callback(round_result)`` after every completed round."""
+        self._round_callbacks.append(callback)
+        return self
+
+    def on_round_start(self, callback: RoundStartCallback) -> "Session":
+        """Call ``callback(session, iteration, events)`` at each round boundary.
+
+        Fires *after* the scenario director applied the round's events (and
+        the trace entry opened) but before any phase of the round runs —
+        the ordering ``tests/core/test_session.py`` locks down.
+        """
+        self._round_start_callbacks.append(callback)
+        return self
+
+    def pause(self) -> None:
+        """Stop yielding rounds until :meth:`resume`; safe to call mid-stream."""
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+
+    # ------------------------------------------------------------------ #
+    # The round engine
+    # ------------------------------------------------------------------ #
+    def step(self) -> Optional[RoundResult]:
+        """Execute exactly one round; ``None`` when the session is finished.
+
+        Ignores the paused flag — pausing gates the *streaming* interfaces
+        (iteration and :meth:`run`), not an explicit single step.
+        """
+        if self._finished:
+            return None
+        deployment = self.deployment
+        iteration = self._next_round
+        if not self._started:
+            self.strategy.setup(deployment)
+            self._started = True
+        # Round boundary: scenario events first, exactly like the legacy
+        # loops — a crash injected at round t must trigger failover within
+        # the same round.
+        events = deployment.begin_round(iteration)
+        reporting = self.strategy.reporting_server(deployment, iteration)
+        self._reporting = reporting
+        for callback in self._round_start_callbacks:
+            callback(self, iteration, events)
+        accountant = RoundAccountant(deployment, reporting)
+        accountant.begin()
+        ctx = RoundContext(
+            deployment=deployment, iteration=iteration, server=reporting, accountant=accountant
+        )
+        self.strategy.run_round(ctx)
+        accuracy = reporting.compute_accuracy() if should_evaluate(deployment, iteration) else None
+        record = accountant.end(iteration, accuracy=accuracy)
+        result = RoundResult(
+            iteration=iteration,
+            events=tuple(events),
+            quorum=len(reporting.last_gradient_sources),
+            gradient_sources=tuple(reporting.last_gradient_sources),
+            update_norm=reporting.last_update_norm,
+            accuracy=record.accuracy,
+            loss=record.loss,
+            record=record,
+        )
+        self._last_result = result
+        self._next_round += 1
+        if self._next_round >= deployment.config.num_iterations:
+            # Natural completion: a stop recorded by an earlier
+            # run(until=predicate) no longer describes how this run ended
+            # (an early_stop predicate firing below re-asserts it).
+            self._finished = True
+            self.stopped_early = False
+        for callback in self._round_callbacks:
+            callback(result)
+        if self._early_stop is not None and self._early_stop(result):
+            self._finished = True
+            self.stopped_early = True
+        return result
+
+    def __iter__(self) -> "Session":
+        return self
+
+    def __next__(self) -> RoundResult:
+        if self._paused or self._finished:
+            raise StopIteration
+        result = self.step()
+        if result is None:  # pragma: no cover - guarded by _finished above
+            raise StopIteration
+        return result
+
+    def run(self, until: Optional[Union[int, StopPredicate]] = None) -> TrainingResult:
+        """Drive the session forward and return the :class:`TrainingResult`.
+
+        * ``run()`` — to completion (or until a pause / early stop).
+        * ``run(until=k)`` — executes rounds ``< k``: afterwards
+          ``next_round == min(k, num_iterations)``.
+        * ``run(until=predicate)`` — stops right after the first round whose
+          :class:`RoundResult` satisfies the predicate.
+        """
+        bound: Optional[int] = None
+        predicate: Optional[StopPredicate] = None
+        if until is not None:
+            if callable(until):
+                predicate = until
+            elif isinstance(until, int) and not isinstance(until, bool):
+                if until < 0:
+                    raise ConfigurationError("run(until=...) needs a non-negative round index")
+                bound = until
+            else:
+                raise ConfigurationError(
+                    f"run(until=...) takes a round index or a predicate, got {until!r}"
+                )
+        self.resume()
+        while not self._finished and not self._paused:
+            if bound is not None and self._next_round >= bound:
+                break
+            result = self.step()
+            if predicate is not None and result is not None and predicate(result):
+                self.stopped_early = True
+                break
+        return self.result()
+
+    # ------------------------------------------------------------------ #
+    # Mid-run artifacts
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, path) -> None:
+        """Persist the reporting server's model state mid-run (``.npz``)."""
+        self.reporting_server.save_checkpoint(path)
+
+    def export_trace(self, path) -> None:
+        """Write the deterministic scenario trace collected so far to ``path``."""
+        if self.deployment.trace is None:
+            raise ConfigurationError(
+                "this session records no trace; run it under a scenario "
+                "(ClusterConfig.scenario or SessionBuilder.scenario)"
+            )
+        self.deployment.trace.save(path)
+
+    def result(self) -> TrainingResult:
+        """Snapshot of the run so far as a :class:`TrainingResult`."""
+        return Controller.collect_result(self.deployment)
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the deployment's runtime resources (idempotent)."""
+        self.deployment.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "paused" if self._paused else ("finished" if self._finished else "ready")
+        return (
+            f"Session(deployment='{self.config.deployment}', "
+            f"round={self._next_round}/{self.config.num_iterations}, {state})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Fluent construction
+# ---------------------------------------------------------------------- #
+class SessionBuilder:
+    """Fluent composition of a :class:`Session` from the existing registries.
+
+    Example::
+
+        session = (
+            SessionBuilder()
+            .deployment("ssmw")
+            .workers(8, byzantine=2, attacking=2)
+            .attack("reversed")
+            .gar("multi-krum")
+            .executor("threaded")
+            .iterations(50, accuracy_every=10)
+            .seed(1)
+            .build()
+        )
+        for round_result in session:
+            ...
+    """
+
+    def __init__(self, **fields: Any) -> None:
+        self._fields: Dict[str, Any] = dict(fields)
+        self._scenario: Optional[str] = None
+        self._strategy: Optional[RoundStrategy] = None
+        self._early_stop: Optional[StopPredicate] = None
+        self._round_callbacks: List[RoundCallback] = []
+        self._round_start_callbacks: List[RoundStartCallback] = []
+
+    # ------------------------------------------------------------------ #
+    def deployment(self, name: str) -> "SessionBuilder":
+        self._fields["deployment"] = name
+        return self
+
+    def workers(
+        self, count: int, *, byzantine: Optional[int] = None, attacking: Optional[int] = None
+    ) -> "SessionBuilder":
+        self._fields["num_workers"] = count
+        if byzantine is not None:
+            self._fields["num_byzantine_workers"] = byzantine
+        if attacking is not None:
+            self._fields["num_attacking_workers"] = attacking
+        return self
+
+    def servers(
+        self, count: int, *, byzantine: Optional[int] = None, attacking: Optional[int] = None
+    ) -> "SessionBuilder":
+        self._fields["num_servers"] = count
+        if byzantine is not None:
+            self._fields["num_byzantine_servers"] = byzantine
+        if attacking is not None:
+            self._fields["num_attacking_servers"] = attacking
+        return self
+
+    def attack(self, name: str, *, side: str = "workers") -> "SessionBuilder":
+        if side not in ("workers", "servers", "both"):
+            raise ConfigurationError("attack side must be 'workers', 'servers' or 'both'")
+        if side in ("workers", "both"):
+            self._fields["worker_attack"] = name
+        if side in ("servers", "both"):
+            self._fields["server_attack"] = name
+        return self
+
+    def gar(self, gradient: Optional[str] = None, *, model: Optional[str] = None) -> "SessionBuilder":
+        if gradient is not None:
+            self._fields["gradient_gar"] = gradient
+        if model is not None:
+            self._fields["model_gar"] = model
+        return self
+
+    def experiment(
+        self,
+        model: Optional[str] = None,
+        *,
+        dataset: Optional[str] = None,
+        dataset_size: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        learning_rate: Optional[float] = None,
+    ) -> "SessionBuilder":
+        for key, value in (
+            ("model", model),
+            ("dataset", dataset),
+            ("dataset_size", dataset_size),
+            ("batch_size", batch_size),
+            ("learning_rate", learning_rate),
+        ):
+            if value is not None:
+                self._fields[key] = value
+        return self
+
+    def iterations(self, count: int, *, accuracy_every: Optional[int] = None) -> "SessionBuilder":
+        self._fields["num_iterations"] = count
+        if accuracy_every is not None:
+            self._fields["accuracy_every"] = accuracy_every
+        return self
+
+    def executor(self, name: str, *, workers: Optional[int] = None) -> "SessionBuilder":
+        self._fields["executor"] = name
+        if workers is not None:
+            self._fields["executor_workers"] = workers
+        return self
+
+    def seed(self, value: int) -> "SessionBuilder":
+        self._fields["seed"] = value
+        return self
+
+    def scenario(self, ref: Optional[str]) -> "SessionBuilder":
+        """Drive the run with a bundled scenario name or a scenario JSON path."""
+        self._scenario = ref
+        return self
+
+    def options(self, **fields: Any) -> "SessionBuilder":
+        """Set any remaining :class:`ClusterConfig` fields by name."""
+        self._fields.update(fields)
+        return self
+
+    def strategy(self, strategy: RoundStrategy) -> "SessionBuilder":
+        """Use an explicit strategy instance instead of the registry lookup."""
+        self._strategy = strategy
+        return self
+
+    def early_stop(self, predicate: StopPredicate) -> "SessionBuilder":
+        self._early_stop = predicate
+        return self
+
+    def on_round(self, callback: RoundCallback) -> "SessionBuilder":
+        self._round_callbacks.append(callback)
+        return self
+
+    def on_round_start(self, callback: RoundStartCallback) -> "SessionBuilder":
+        self._round_start_callbacks.append(callback)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def config(self):
+        """The validated :class:`~repro.core.cluster.ClusterConfig` this builds."""
+        from repro.core.cluster import ClusterConfig
+        from repro.core.scenario import config_for_scenario
+
+        if self._scenario:
+            return config_for_scenario(self._scenario, **self._fields)
+        return ClusterConfig(**self._fields)
+
+    def build(self) -> Session:
+        """Construct the deployment and wrap it in a ready-to-stream session."""
+        session = Session(
+            config=self.config(), strategy=self._strategy, early_stop=self._early_stop
+        )
+        for callback in self._round_callbacks:
+            session.on_round(callback)
+        for callback in self._round_start_callbacks:
+            session.on_round_start(callback)
+        return session
+
+    def run(self, until: Optional[Union[int, StopPredicate]] = None) -> TrainingResult:
+        """Build the session, drive it, close the deployment, return the result."""
+        with self.build() as session:
+            return session.run(until=until)
+
+
+def train(
+    *,
+    scenario: Optional[str] = None,
+    until: Optional[Union[int, StopPredicate]] = None,
+    early_stop: Optional[StopPredicate] = None,
+    on_round: Optional[RoundCallback] = None,
+    strategy: Optional[RoundStrategy] = None,
+    **config_fields: Any,
+) -> TrainingResult:
+    """One-call Byzantine-resilient training: ``repro.train(...)``.
+
+    Keyword arguments are :class:`~repro.core.cluster.ClusterConfig` fields;
+    ``scenario`` / ``until`` / ``early_stop`` / ``on_round`` expose the
+    session controls.  Builds the cluster, streams the rounds, closes the
+    deployment and returns the :class:`~repro.core.controller.TrainingResult`.
+    """
+    builder = SessionBuilder(**config_fields)
+    if scenario is not None:
+        builder.scenario(scenario)
+    if strategy is not None:
+        builder.strategy(strategy)
+    if early_stop is not None:
+        builder.early_stop(early_stop)
+    if on_round is not None:
+        builder.on_round(on_round)
+    return builder.run(until=until)
+
+
+# ---------------------------------------------------------------------- #
+# Legacy entry points
+# ---------------------------------------------------------------------- #
+def run_application(deployment: Deployment) -> None:
+    """Run the training loop matching the deployment's configured application.
+
+    The historical imperative entry point, now a thin wrapper that streams a
+    :class:`Session` to completion.  Leaves the deployment open (callers own
+    its lifecycle) and returns nothing; metrics/trace accumulate on the
+    deployment exactly as the legacy per-app loops did.
+    """
+    Session(deployment).run()
+
+
+#: Memoized shims: ``APPLICATIONS[name]`` and the module-level ``run_*``
+#: bindings are the *same* callable, preserving identity comparisons that
+#: worked against the old dict.
+_RUNNER_CACHE: Dict[str, Callable[[Deployment], None]] = {}
+
+
+def deprecated_runner(name: str) -> Callable[[Deployment], None]:
+    """The ``run_<app>`` compatibility shim for ``name``: warns and delegates.
+
+    Memoized per name, so repeated lookups return the identical function
+    object (the strategy itself is still resolved from the registry at call
+    time, so ``replace=True`` re-registrations take effect).
+    """
+    if name in _RUNNER_CACHE:
+        return _RUNNER_CACHE[name]
+
+    def runner(deployment: Deployment) -> None:
+        warnings.warn(
+            f"run_{name.replace('-', '_')}(deployment) is deprecated; drive a "
+            "repro.core.session.Session (or repro.train) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        Session(deployment, strategy=resolve_application(name)).run()
+
+    runner.__name__ = f"run_{name.replace('-', '_')}"
+    runner.__qualname__ = runner.__name__
+    runner.__doc__ = (
+        f"Deprecated imperative runner for the '{name}' application; use "
+        "repro.core.session.Session instead."
+    )
+    _RUNNER_CACHE[name] = runner
+    return runner
+
+
+class ApplicationsView(Mapping):
+    """Read-only live view of the registry, keyed like the old ``APPLICATIONS``.
+
+    Values are the deprecation shims, so existing ``APPLICATIONS[name](dep)``
+    call sites keep working (with a :class:`DeprecationWarning`) and
+    third-party registrations show up automatically.
+    """
+
+    def __getitem__(self, name: str) -> Callable[[Deployment], None]:
+        if not is_registered_application(name):
+            raise KeyError(name)
+        return deprecated_runner(name)
+
+    def __iter__(self):
+        return iter(available_applications())
+
+    def __len__(self) -> int:
+        return len(available_applications())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ApplicationsView({available_applications()})"

@@ -42,6 +42,15 @@ class TestDispatch:
 
         assert set(APPLICATIONS) == set(DEPLOYMENTS)
 
+    def test_dispatch_is_backed_by_the_strategy_registry(self):
+        from repro.core.session import APPLICATION_REGISTRY, RoundStrategy
+
+        assert set(APPLICATION_REGISTRY) >= set(APPLICATIONS)
+        assert all(
+            isinstance(cls, type) and issubclass(cls, RoundStrategy)
+            for cls in APPLICATION_REGISTRY.values()
+        )
+
     def test_unknown_deployment_rejected(self):
         deployment = Controller(ClusterConfig(model="logistic", dataset_size=100)).build()
         deployment.config.deployment = "unknown"

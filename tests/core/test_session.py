@@ -1,0 +1,538 @@
+"""Tests for the streaming Session API and the RoundStrategy registry.
+
+The contracts locked here are the load-bearing ones of the API redesign:
+
+* streaming semantics — one round per step, per-round records with quorum
+  sources and update norms;
+* pause/resume produces a trace byte-identical to an uninterrupted run, on
+  every execution backend;
+* ``run(until=...)`` and early-stop predicates stop at the exact round;
+* callback ordering relative to ``ScenarioDirector.begin_round`` (events are
+  applied and the trace entry is open before any user callback fires);
+* the ``@register_application`` registry accepts third-party strategies and
+  the legacy ``run_*`` shims warn while reproducing identical traces;
+* ``should_evaluate`` always evaluates the final iteration, so no run ends
+  with a stale accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Controller
+from repro.core.cluster import ClusterConfig
+from repro.core.metrics import Trace
+from repro.core.scenario import config_for_scenario
+from repro.core.session import (
+    APPLICATION_REGISTRY,
+    RoundResult,
+    RoundStrategy,
+    Session,
+    SessionBuilder,
+    available_applications,
+    register_application,
+    resolve_application,
+    run_application,
+    train,
+)
+from repro.exceptions import ConfigurationError
+
+BACKEND_PARAMS = [
+    pytest.param("serial", marks=pytest.mark.backend("serial")),
+    pytest.param("threaded", marks=pytest.mark.backend("threaded")),
+    pytest.param("process", marks=[pytest.mark.backend("process"), pytest.mark.slow]),
+]
+
+
+def small_config(**overrides) -> ClusterConfig:
+    defaults = dict(
+        deployment="ssmw",
+        num_workers=5,
+        num_byzantine_workers=1,
+        num_attacking_workers=1,
+        worker_attack="reversed",
+        gradient_gar="multi-krum",
+        model="logistic",
+        dataset="mnist",
+        dataset_size=150,
+        batch_size=8,
+        num_iterations=6,
+        accuracy_every=2,
+        learning_rate=0.1,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+class TestStreaming:
+    def test_yields_one_result_per_round(self):
+        with Session(config=small_config()) as session:
+            results = list(session)
+        assert [r.iteration for r in results] == list(range(6))
+        assert session.finished and not session.paused
+        assert len(session.deployment.metrics) == 6
+
+    def test_round_results_carry_quorum_and_update_norm(self):
+        with Session(config=small_config()) as session:
+            result = next(iter(session))
+        assert isinstance(result, RoundResult)
+        assert result.quorum == 5
+        assert len(result.gradient_sources) == 5
+        assert all(s.startswith("worker-") for s in result.gradient_sources)
+        assert result.update_norm is not None and result.update_norm > 0.0
+        assert result.record is session.deployment.metrics.records[0]
+        assert result.to_dict()["iteration"] == 0
+
+    def test_accuracy_appears_on_schedule(self):
+        with Session(config=small_config()) as session:
+            results = list(session)
+        measured = [r.iteration for r in results if r.accuracy is not None]
+        assert measured == [0, 2, 4, 5]
+
+    def test_exhausted_session_stops_iterating(self):
+        with Session(config=small_config(num_iterations=2)) as session:
+            assert len(list(session)) == 2
+            assert list(session) == []
+            assert session.step() is None
+
+    def test_streaming_matches_controller_run(self):
+        streamed = Session(config=small_config())
+        with streamed:
+            list(streamed)
+        batch = Controller(small_config()).run()
+        streamed_result = streamed.result()
+        assert streamed_result.accuracy_history == batch.accuracy_history
+        assert streamed_result.final_accuracy == batch.final_accuracy
+
+    def test_session_requires_deployment_or_config(self):
+        with pytest.raises(ConfigurationError):
+            Session()
+
+    def test_session_rejects_mismatched_config_and_deployment(self):
+        deployment = Controller(small_config()).build()
+        with pytest.raises(ConfigurationError):
+            Session(deployment, config=small_config())
+        deployment.close()
+
+    def test_repr_tracks_progress(self):
+        with Session(config=small_config(num_iterations=2)) as session:
+            assert "round=0/2" in repr(session)
+            session.run()
+            assert "finished" in repr(session)
+
+
+class TestPauseResume:
+    @pytest.mark.parametrize("executor", BACKEND_PARAMS)
+    def test_trace_identical_to_uninterrupted_run(self, executor, require_process_backend):
+        """Pause mid-run, resume: byte-identical trace on every backend."""
+        if executor == "process":
+            require_process_backend()
+        scenario = "churn_at_f_bound"
+        uninterrupted = Controller(config_for_scenario(scenario, executor=executor)).run()
+
+        session = Session(config=config_for_scenario(scenario, executor=executor))
+        with session:
+            for result in session:
+                if result.iteration == 3:
+                    session.pause()
+            assert session.paused and session.next_round == 4
+            assert list(session) == []  # paused sessions yield nothing
+            session.resume()
+            rest = list(session)
+        assert [r.iteration for r in rest] == [4, 5, 6, 7]
+        assert session.trace.to_json() == uninterrupted.trace.to_json()
+
+    def test_run_respects_pause_from_callback(self):
+        session = Session(config=small_config())
+        session.on_round(lambda r: session.pause() if r.iteration == 1 else None)
+        with session:
+            session.run()
+            assert session.next_round == 2 and not session.finished
+            session.run()  # run() resumes automatically
+        assert session.finished and session.next_round == 6
+
+
+class TestUntilAndEarlyStop:
+    def test_until_stops_at_exact_round(self):
+        with Session(config=small_config()) as session:
+            session.run(until=3)
+            assert session.next_round == 3 and not session.finished
+            session.run(until=3)  # idempotent: already there
+            assert session.next_round == 3
+            session.run()
+        assert session.finished and session.next_round == 6
+
+    def test_until_beyond_the_horizon_just_finishes(self):
+        with Session(config=small_config(num_iterations=3)) as session:
+            result = session.run(until=99)
+        assert session.finished and len(result.metrics) == 3
+
+    def test_until_predicate_stops_after_matching_round(self):
+        with Session(config=small_config()) as session:
+            session.run(until=lambda r: r.iteration == 2)
+        assert session.next_round == 3 and session.stopped_early
+
+    def test_stopped_early_clears_on_later_natural_completion(self):
+        with Session(config=small_config()) as session:
+            session.run(until=lambda r: r.iteration == 2)
+            assert session.stopped_early and not session.finished
+            session.run()
+        assert session.finished and not session.stopped_early
+
+    def test_early_stop_predicate_stops_at_exact_round(self):
+        session = Session(config=small_config(), early_stop=lambda r: r.iteration == 3)
+        with session:
+            results = list(session)
+        assert [r.iteration for r in results] == [0, 1, 2, 3]
+        assert session.finished and session.stopped_early
+
+    def test_invalid_until_rejected(self):
+        with Session(config=small_config(num_iterations=1)) as session:
+            with pytest.raises(ConfigurationError):
+                session.run(until=-1)
+            with pytest.raises(ConfigurationError):
+                session.run(until=True)
+            with pytest.raises(ConfigurationError):
+                session.run(until="soon")
+
+
+class TestCallbacks:
+    def test_round_start_fires_after_director_applied_events(self):
+        """Callback ordering vs ScenarioDirector.begin_round is locked.
+
+        ``churn_at_f_bound`` crashes worker-0 at round 2: by the time the
+        round-start callback fires, the director must already have applied
+        the crash and the trace entry for the round must be open.
+        """
+        observed = {}
+        session = Session(config=config_for_scenario("churn_at_f_bound"))
+
+        def on_start(s, iteration, events):
+            if iteration == 2:
+                observed["events"] = [e["action"] for e in events]
+                observed["crashed"] = s.deployment.transport.failures.is_crashed("worker-0")
+                observed["trace_rounds_open"] = len(s.deployment.trace.rounds)
+                observed["trace_entry_closed"] = s.deployment.trace.rounds[-1]["quorum"]
+
+        session.on_round_start(on_start)
+        with session:
+            session.run()
+        assert observed["events"] == ["crash"]
+        assert observed["crashed"] is True
+        # begin_round already opened the entry for round 2 (director first)…
+        assert observed["trace_rounds_open"] == 3
+        # …but no phase ran yet: the quorum outcome is still unset.
+        assert observed["trace_entry_closed"] is None
+
+    def test_round_callbacks_fire_in_registration_order_after_each_round(self):
+        calls = []
+        session = Session(config=small_config(num_iterations=2))
+        session.on_round(lambda r: calls.append(("first", r.iteration)))
+        session.on_round(lambda r: calls.append(("second", r.iteration)))
+        session.on_round_start(lambda s, i, e: calls.append(("start", i)))
+        with session:
+            session.run()
+        assert calls == [
+            ("start", 0), ("first", 0), ("second", 0),
+            ("start", 1), ("first", 1), ("second", 1),
+        ]
+
+
+class TestMidRunArtifacts:
+    def test_checkpoint_mid_run_roundtrips(self, tmp_path):
+        path = tmp_path / "mid.npz"
+        with Session(config=small_config()) as session:
+            session.run(until=3)
+            session.checkpoint(path)
+            mid_state = session.reporting_server.flat_parameters().copy()
+            session.run()
+
+        with Session(config=small_config()) as fresh:
+            restored = fresh.reporting_server.load_checkpoint(path)
+        assert restored == 3
+        assert np.allclose(fresh.reporting_server.flat_parameters(), mid_state)
+
+    def test_export_trace_mid_run(self, tmp_path):
+        path = tmp_path / "partial.json"
+        with Session(config=config_for_scenario("calm_baseline")) as session:
+            session.run(until=3)
+            session.export_trace(path)
+        stored = Trace.load(path)
+        assert [entry["round"] for entry in stored.rounds] == [0, 1, 2]
+
+    def test_export_trace_without_scenario_raises(self, tmp_path):
+        with Session(config=small_config(num_iterations=1)) as session:
+            with pytest.raises(ConfigurationError):
+                session.export_trace(tmp_path / "no.json")
+
+
+class TestFinalIterationEvaluation:
+    """``should_evaluate`` must always evaluate the last iteration.
+
+    A run whose ``num_iterations`` is not a multiple of ``accuracy_every``
+    would otherwise end with a stale accuracy; the bundled golden traces
+    (8 rounds, ``accuracy_every=4``) already encode the corrected schedule —
+    round 7 carries an accuracy — so this is locked without re-blessing.
+    """
+
+    @pytest.mark.parametrize("deployment,extra", [
+        ("ssmw", {}),
+        ("vanilla", {"num_byzantine_workers": 0, "num_attacking_workers": 0}),
+    ])
+    def test_final_round_always_evaluated(self, deployment, extra):
+        config = small_config(deployment=deployment, num_iterations=5, accuracy_every=3, **extra)
+        result = Controller(config).run()
+        assert [i for i, _ in result.accuracy_history] == [0, 3, 4]
+        assert result.metrics.records[-1].accuracy is not None
+
+    def test_multiple_of_interval_not_double_evaluated(self):
+        result = Controller(small_config(num_iterations=4, accuracy_every=2)).run()
+        assert [i for i, _ in result.accuracy_history] == [0, 2, 3]
+
+
+class TestSessionBuilder:
+    def test_fluent_chain_builds_expected_config(self):
+        config = (
+            SessionBuilder()
+            .deployment("msmw")
+            .workers(7, byzantine=1, attacking=1)
+            .servers(4, byzantine=1, attacking=1)
+            .attack("reversed", side="both")
+            .gar("multi-krum", model="median")
+            .experiment("logistic", dataset="mnist", dataset_size=150, batch_size=8)
+            .iterations(3, accuracy_every=2)
+            .executor("threaded", workers=4)
+            .seed(6)
+            .options(momentum=0.5)
+            .config()
+        )
+        assert config.deployment == "msmw"
+        assert (config.num_workers, config.num_byzantine_workers) == (7, 1)
+        assert (config.num_servers, config.num_byzantine_servers) == (4, 1)
+        assert config.worker_attack == config.server_attack == "reversed"
+        assert (config.gradient_gar, config.model_gar) == ("multi-krum", "median")
+        assert (config.executor, config.executor_workers) == ("threaded", 4)
+        assert config.momentum == 0.5
+
+    def test_invalid_attack_side_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SessionBuilder().attack("reversed", side="everyone")
+
+    def test_builder_scenario_wires_trace(self):
+        session = SessionBuilder().scenario("calm_baseline").build()
+        with session:
+            session.run(until=1)
+        assert session.trace is not None and session.trace.scenario == "calm_baseline"
+
+    def test_builder_run_returns_training_result(self):
+        result = (
+            SessionBuilder()
+            .deployment("ssmw")
+            .workers(5, byzantine=1, attacking=1)
+            .gar("multi-krum")
+            .experiment("logistic", dataset_size=150, batch_size=8)
+            .iterations(3, accuracy_every=2)
+            .seed(11)
+            .run()
+        )
+        assert len(result.metrics) == 3 and result.final_accuracy is not None
+
+    def test_builder_callbacks_attach(self):
+        seen = []
+        result = (
+            SessionBuilder()
+            .deployment("ssmw")
+            .workers(5, byzantine=1, attacking=1)
+            .gar("multi-krum")
+            .experiment("logistic", dataset_size=150, batch_size=8)
+            .iterations(4, accuracy_every=2)
+            .seed(11)
+            .on_round(lambda r: seen.append(r.iteration))
+            .early_stop(lambda r: r.iteration == 1)
+            .run()
+        )
+        assert seen == [0, 1] and len(result.metrics) == 2
+
+    def test_train_one_call(self):
+        result = train(
+            deployment="vanilla",
+            num_workers=4,
+            model="logistic",
+            dataset_size=120,
+            batch_size=8,
+            num_iterations=3,
+            accuracy_every=2,
+            seed=2,
+        )
+        assert len(result.metrics) == 3
+
+    def test_train_with_scenario_reproduces_golden(self):
+        from pathlib import Path
+
+        golden = (
+            Path(__file__).parent.parent / "integration" / "golden" / "calm_baseline.json"
+        ).read_text(encoding="utf-8")
+        result = train(scenario="calm_baseline")
+        assert result.trace.to_json() == golden
+
+
+class TestRegistry:
+    def test_bundled_applications_registered(self):
+        assert set(available_applications()) == {
+            "vanilla", "aggregathor", "crash-tolerant", "ssmw", "msmw", "decentralized",
+        }
+
+    def test_resolve_unknown_application_raises(self):
+        with pytest.raises(ConfigurationError):
+            resolve_application("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            @register_application("ssmw")
+            class Clashing(RoundStrategy):
+                pass
+
+    def test_non_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_application("not-a-strategy")(object)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_application("")
+
+    def test_third_party_strategy_trains_end_to_end(self):
+        """A plugged-in strategy is a first-class deployment name."""
+
+        @register_application("double-step")
+        class DoubleStepStrategy(RoundStrategy):
+            """SSMW round that applies the aggregated update twice."""
+
+            def apply(self, ctx, update):
+                ctx.server.update_model(update)
+                ctx.server.update_model(update)
+
+        try:
+            result = train(
+                deployment="double-step",
+                num_workers=5,
+                num_byzantine_workers=1,
+                num_attacking_workers=1,
+                gradient_gar="multi-krum",
+                model="logistic",
+                dataset_size=150,
+                batch_size=8,
+                num_iterations=3,
+                accuracy_every=2,
+                seed=11,
+            )
+            assert len(result.metrics) == 3
+            # Two optimizer steps per round.
+            assert result.to_dict()["iterations"] == 3
+            assert "double-step" in available_applications()
+            # replace=True swaps the implementation without erroring.
+            register_application("double-step", replace=True)(DoubleStepStrategy)
+        finally:
+            APPLICATION_REGISTRY.pop("double-step", None)
+
+    def test_unregistered_deployment_name_still_rejected_by_config(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(deployment="never-registered")
+
+
+class TestLegacyShims:
+    def test_run_application_dispatches_without_warning(self, recwarn):
+        deployment = Controller(small_config(num_iterations=2)).build()
+        run_application(deployment)
+        deployment.close()
+        assert len(deployment.metrics) == 2
+        assert not [w for w in recwarn.list if issubclass(w.category, DeprecationWarning)]
+
+    @pytest.mark.parametrize("name,runner_name", [
+        ("vanilla", "run_vanilla"),
+        ("aggregathor", "run_aggregathor"),
+        ("crash-tolerant", "run_crash_tolerant"),
+        ("ssmw", "run_ssmw"),
+        ("msmw", "run_msmw"),
+        ("decentralized", "run_decentralized"),
+    ])
+    def test_every_shim_warns(self, name, runner_name):
+        import repro.apps as apps
+
+        runner = getattr(apps, runner_name)
+        assert runner.__name__ == runner_name
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            with pytest.raises(StopIteration):  # probe: warning fires before any work
+                runner(_ExplodingDeployment())
+
+    def test_shim_trace_identical_to_golden(self):
+        """The deprecated runner reproduces the exact golden trace."""
+        from pathlib import Path
+
+        from repro.apps import run_ssmw
+
+        golden = (
+            Path(__file__).parent.parent / "integration" / "golden" / "calm_baseline.json"
+        ).read_text(encoding="utf-8")
+        deployment = Controller(config_for_scenario("calm_baseline")).build()
+        with pytest.warns(DeprecationWarning):
+            run_ssmw(deployment)
+        deployment.close()
+        assert deployment.trace.to_json() == golden
+
+    def test_applications_view_is_live_and_deprecated(self):
+        from repro.apps import APPLICATIONS
+        from repro.network.topology import DEPLOYMENTS
+
+        assert set(APPLICATIONS) == set(DEPLOYMENTS)
+        assert len(APPLICATIONS) == len(DEPLOYMENTS)
+        with pytest.raises(KeyError):
+            APPLICATIONS["missing"]
+        runner = APPLICATIONS["ssmw"]
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(StopIteration):
+                runner(_ExplodingDeployment())
+
+    def test_applications_view_preserves_shim_identity(self):
+        from repro.apps import APPLICATIONS, run_msmw, run_ssmw
+
+        assert APPLICATIONS["ssmw"] is APPLICATIONS["ssmw"]
+        assert APPLICATIONS["ssmw"] is run_ssmw
+        assert APPLICATIONS["msmw"] is run_msmw
+
+    def test_aggregathor_handicap_applied_once_across_sessions(self):
+        config = small_config(
+            deployment="aggregathor",
+            num_byzantine_workers=0,
+            num_attacking_workers=0,
+            num_iterations=2,
+        )
+        deployment = Controller(config).build()
+        baseline = deployment.servers[0].optimizer.lr
+        with Session(deployment) as first:
+            first.run()
+            # A second session over the same deployment must not compound it.
+            Session(deployment).run(until=1)
+        assert deployment.servers[0].optimizer.lr == pytest.approx(baseline * 0.8)
+
+
+class _ExplodingDeployment:
+    """Deployment stand-in that aborts the run as soon as it is touched.
+
+    Lets shim tests assert the DeprecationWarning fired without paying for a
+    training run; StopIteration is used as an out-of-band abort signal that
+    nothing in the engine catches.
+    """
+
+    class _Config:
+        deployment = "ssmw"
+        num_iterations = 1
+
+    config = _Config()
+
+    def __getattr__(self, name):
+        raise StopIteration
+
+    def begin_round(self, iteration):
+        raise StopIteration

@@ -157,13 +157,14 @@ class TestCrashResilience:
         controller = Controller(config)
         deployment = controller.build()
 
-        # Run the first half, crash the primary, then finish.
-        from repro.apps.crash_tolerant import run_crash_tolerant
+        # Run the first half, crash the primary mid-session, then finish —
+        # one streamed session, interrupted exactly at the failover point.
+        from repro.core.session import Session
 
-        deployment.config.num_iterations = 15
-        run_crash_tolerant(deployment)
+        session = Session(deployment)
+        session.run(until=15)
         deployment.transport.failures.crash("server-0")
-        run_crash_tolerant(deployment)
+        session.run()
         result = controller.collect_result(deployment)
         assert len(result.metrics) == 30
         assert result.final_accuracy > 0.5

@@ -124,3 +124,38 @@ class TestRunCommand:
                     "--iterations", "2",
                 ]
             )
+
+    def test_stream_prints_per_round_lines(self, capsys):
+        code = main(
+            [
+                "run",
+                "--deployment", "ssmw",
+                "--workers", "4",
+                "--dataset-size", "100",
+                "--batch-size", "8",
+                "--iterations", "3",
+                "--accuracy-every", "2",
+                "--stream",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for iteration in range(3):
+            assert f"round    {iteration}  quorum  4" in out
+        assert "update-norm" in out
+
+    def test_until_stops_the_session_at_the_exact_round(self, capsys):
+        code = main(
+            [
+                "run",
+                "--deployment", "ssmw",
+                "--workers", "4",
+                "--dataset-size", "100",
+                "--batch-size", "8",
+                "--iterations", "6",
+                "--accuracy-every", "2",
+                "--until", "2",
+            ]
+        )
+        assert code == 0
+        assert "over 2 iterations" in capsys.readouterr().out

@@ -42,6 +42,16 @@ def test_docs_check_passes(check_docs, capsys):
     assert check_docs.main() == 0, capsys.readouterr().err
 
 
+def test_top_level_exports_track_real_exports_only(check_docs):
+    """`repro.<attr>` references validate against __all__/_LAZY_EXPORTS, not
+    arbitrary quoted words from the package docstring."""
+    exports = check_docs.top_level_exports()
+    assert {"train", "Session", "SessionBuilder"} <= exports
+    # 'ssmw' appears quoted in the package docstring example but is NOT an
+    # export; a sloppy scan would accept the broken reference `repro.ssmw`.
+    assert "ssmw" not in exports
+
+
 def test_readme_covers_the_required_sections(check_docs):
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     for needle in (
