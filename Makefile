@@ -11,13 +11,17 @@
 #   make bench-hotpath  — zero-copy pipeline vs legacy copy chain; writes
 #                         BENCH_hotpath.json and checks the acceptance bar
 #   make bench          — the full figure-reproduction benchmark suite (minutes)
+#   make fuzz-smoke     — tier-1 scenario-fuzzing smoke: fixed seeds, dozens of
+#                         generated scenarios, every invariant checked
+#   make fuzz           — tier-2 fuzzing sweep (hundreds of scenarios); writes
+#                         the FUZZ_report.json campaign summary
 #   make docs-check     — validate README/docs links and path references
 #   make quickstart     — run the Listing 1 end-to-end example
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-session test-scenarios test-backends update-golden bench-smoke bench-hotpath bench docs-check quickstart
+.PHONY: test test-session test-scenarios test-backends update-golden bench-smoke bench-hotpath bench fuzz-smoke fuzz docs-check quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -43,6 +47,12 @@ bench-hotpath:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s
+
+fuzz-smoke:
+	$(PYTHON) -m pytest tests/fuzz -m "fuzz and not slow" -q
+
+fuzz:
+	REPRO_FUZZ_SWEEP=1 $(PYTHON) -m pytest tests/fuzz/test_fuzz_sweep.py -m fuzz -q -s
 
 docs-check:
 	$(PYTHON) scripts/check_docs.py

@@ -42,6 +42,11 @@ def pytest_configure(config) -> None:
         "markers",
         "slow: long-running test (process-level chaos, full convergence runs)",
     )
+    config.addinivalue_line(
+        "markers",
+        "fuzz: generative scenario-fuzzing test (seeded ScenarioGenerator + "
+        "invariant checker; filter with -m fuzz, see docs/fuzzing.md)",
+    )
 
 
 def pytest_collection_modifyitems(config, items) -> None:

@@ -34,6 +34,7 @@ DOCUMENTS = (
     "docs/architecture.md",
     "docs/benchmarks.md",
     "docs/scenarios.md",
+    "docs/fuzzing.md",
     "docs/performance.md",
 )
 

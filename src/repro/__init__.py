@@ -59,6 +59,9 @@ __all__ = [
     "register_application",
     "available_applications",
     "train",
+    "ScenarioGenerator",
+    "InvariantChecker",
+    "run_campaign",
 ]
 
 #: Lazy attribute table: name -> providing module (PEP 562).
@@ -70,6 +73,9 @@ _LAZY_EXPORTS = {
     "register_application": "repro.core.session",
     "available_applications": "repro.core.session",
     "train": "repro.core.session",
+    "ScenarioGenerator": "repro.core.fuzz",
+    "InvariantChecker": "repro.core.fuzz",
+    "run_campaign": "repro.core.fuzz",
 }
 
 

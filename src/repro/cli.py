@@ -116,6 +116,69 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios_parser.set_defaults(handler=_cmd_scenarios)
 
     # ------------------------------------------------------------------ #
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="run a generative scenario-fuzzing campaign over the Session engine",
+        description=(
+            "Generate seeded chaos scenarios at, below and beyond each "
+            "deployment's fault margin, check the resilience invariants on "
+            "every run, and shrink any failure to a minimal replayable spec "
+            "(see docs/fuzzing.md)."
+        ),
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz_parser.add_argument("--count", type=int, default=30, help="number of generated scenarios")
+    fuzz_parser.add_argument(
+        "--start", type=int, default=0, help="first case index (cases are (seed, index)-addressed)"
+    )
+    fuzz_parser.add_argument(
+        "--deployments",
+        default=None,
+        help="comma-separated deployments to fuzz (default: all fuzzable ones)",
+    )
+    fuzz_parser.add_argument(
+        "--budgets",
+        default=None,
+        help="comma-separated fault budgets to sweep (below,at,beyond)",
+    )
+    fuzz_parser.add_argument(
+        "--cross-executor-every",
+        type=int,
+        default=3,
+        help="also replay every Nth case on the threaded executor (0 = never)",
+    )
+    fuzz_parser.add_argument(
+        "--pause-resume-every",
+        type=int,
+        default=5,
+        help="also replay every Nth case with a mid-run pause/resume (0 = never)",
+    )
+    fuzz_parser.add_argument(
+        "--no-determinism",
+        action="store_true",
+        help="skip the serial rerun trace comparison (faster, weaker)",
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="keep failing specs as generated instead of ddmin-shrinking them",
+    )
+    fuzz_parser.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="write each failing (shrunk) spec to DIR as scenario JSON "
+        "replayable via 'repro run --scenario <file>'",
+    )
+    fuzz_parser.add_argument(
+        "--report", metavar="FILE", default=None, help="write the campaign summary JSON to FILE"
+    )
+    fuzz_parser.add_argument(
+        "--quiet", action="store_true", help="only print the final summary line"
+    )
+    fuzz_parser.set_defaults(handler=_cmd_fuzz)
+
+    # ------------------------------------------------------------------ #
     throughput_parser = subparsers.add_parser(
         "throughput", help="print the analytic per-iteration latency breakdown per deployment"
     )
@@ -235,6 +298,66 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result.save_json(args.output)
         print(f"result written to {args.output}")
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.core.fuzz import BUDGETS, FUZZ_DEPLOYMENTS, run_campaign
+
+    deployments = (
+        tuple(part.strip() for part in args.deployments.split(",") if part.strip())
+        if args.deployments
+        else FUZZ_DEPLOYMENTS
+    )
+    budgets = (
+        tuple(part.strip() for part in args.budgets.split(",") if part.strip())
+        if args.budgets
+        else BUDGETS
+    )
+
+    def progress(report) -> None:
+        if args.quiet:
+            return
+        case = report.case
+        if report.passed:
+            verdict = "ok"
+        else:
+            verdict = "FAIL " + ", ".join(sorted({v.invariant for v in report.violations}))
+        outcome = report.error or ("diverged" if report.diverged else "completed")
+        print(
+            f"case {case.index:4d}  {case.deployment:14s} budget={case.budget:6s} "
+            f"{case.mechanism:12s} rounds={report.rounds_run:3d} {outcome:14s} {verdict}"
+        )
+
+    result = run_campaign(
+        seed=args.seed,
+        count=args.count,
+        start=args.start,
+        deployments=deployments,
+        budgets=budgets,
+        determinism=not args.no_determinism,
+        cross_executor_every=args.cross_executor_every,
+        pause_resume_every=args.pause_resume_every,
+        shrink=not args.no_shrink,
+        save_dir=args.save,
+        on_report=progress,
+    )
+    if args.report:
+        result.save_report(args.report)
+        print(f"campaign report written to {args.report}")
+    failures = result.failures
+    print(
+        f"fuzz: {len(result.reports)} scenarios (seed {args.seed}), "
+        f"{len(failures)} invariant failure(s)"
+    )
+    for report in failures:
+        invariants = ", ".join(sorted({v.invariant for v in report.violations}))
+        where = f" -> {report.saved_path}" if report.saved_path else ""
+        print(f"  {report.case.name}: {invariants}{where}")
+        print(
+            f"    replay: repro fuzz --seed {report.case.seed} "
+            f"--start {report.case.index} --count 1"
+        )
+    return 0 if result.passed else 1
 
 
 def _cmd_throughput(args: argparse.Namespace) -> int:

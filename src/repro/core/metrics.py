@@ -153,6 +153,28 @@ class Trace:
         entry["loss"] = None if loss is None else float(loss)
         return entry
 
+    def mark_diverged(self, round_index: int) -> Dict[str, Any]:
+        """Flag a round as diverged — the loud counterpart to silent poisoning.
+
+        Adds ``"diverged": true`` to the round's entry (creating the entry if
+        the caller never opened the round).  The key is *only* present on
+        diverged rounds, so traces of healthy runs — including every checked
+        in golden — are byte-identical to what they were before the flag
+        existed.
+        """
+        entry = next(
+            (r for r in reversed(self.rounds) if r["round"] == int(round_index)), None
+        )
+        if entry is None:
+            entry = self.begin_round(round_index)
+        entry["diverged"] = True
+        return entry
+
+    @property
+    def diverged(self) -> bool:
+        """Whether any round of this trace carries the divergence flag."""
+        return any(entry.get("diverged") for entry in self.rounds)
+
     def __len__(self) -> int:
         return len(self.rounds)
 

@@ -75,7 +75,7 @@ class ScenarioEvent:
     value: Any = None
 
     def __post_init__(self) -> None:
-        if not isinstance(self.round, int) or self.round < 0:
+        if isinstance(self.round, bool) or not isinstance(self.round, int) or self.round < 0:
             raise ConfigurationError(f"event round must be a non-negative int, got {self.round!r}")
         if self.action not in ACTIONS:
             raise ConfigurationError(
@@ -181,6 +181,138 @@ class ScenarioSpec:
             return cls.from_json(handle.read())
 
 
+def _is_number(value: Any) -> bool:
+    """A real number that is not a bool (``True`` is an ``int`` in Python)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def normalized_islands(value: Any) -> List[List[str]]:
+    """Structurally validate a ``partition`` event value and normalize it.
+
+    Accepts either one island (a flat list of node ids) or a list of islands
+    and returns the list-of-islands form.  Raises
+    :class:`~repro.exceptions.ConfigurationError` for anything
+    :meth:`~repro.network.failures.FailureInjector.set_partition` would later
+    reject at apply time (non-list values, empty islands, non-string members,
+    one node claimed by two islands), so malformed partitions fail at
+    validation time instead of mid-run.
+    """
+    islands = value
+    if not isinstance(islands, (list, tuple)):
+        raise ConfigurationError(
+            "partition value must be a list of node ids or a list of islands"
+        )
+    if islands and isinstance(islands[0], str):
+        islands = [islands]
+    seen: Dict[str, int] = {}
+    normalized: List[List[str]] = []
+    for index, island in enumerate(islands):
+        if not isinstance(island, (list, tuple)):
+            raise ConfigurationError("partition islands must be lists of node ids")
+        if not island:
+            raise ConfigurationError("partition islands must be non-empty")
+        members: List[str] = []
+        for node_id in island:
+            if not isinstance(node_id, str) or not node_id:
+                raise ConfigurationError("partition islands must contain node ids")
+            if node_id in seen and seen[node_id] != index:
+                raise ConfigurationError(
+                    f"node '{node_id}' appears in two partition islands"
+                )
+            seen[node_id] = index
+            members.append(node_id)
+        normalized.append(members)
+    return normalized
+
+
+def validate_timeline(
+    spec: ScenarioSpec,
+    known_nodes,
+    *,
+    byzantine_ids=(),
+    max_byzantine_count: int = 0,
+) -> None:
+    """Validate a spec's whole timeline against a cluster roster.
+
+    Performs the per-event structural checks (unknown targets, out-of-range
+    values, unknown attack names) *and* stateful timeline-coherence checks by
+    replaying the events in application order:
+
+    * crashing a node that is already crashed (the earlier ``crash`` was
+      never followed by a ``recover``) is rejected;
+    * recovering a node that is not crashed is rejected;
+    * malformed partitions (empty islands, a node in two islands, unknown
+      members) are rejected here, at validation time, rather than surfacing
+      as untyped ``ValueError``\\ s when the round boundary applies them.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` — the same loud,
+    typed failure the rest of the configuration surface uses.  Pure function:
+    callers that only hold a roster (the fuzzing harness, property tests) can
+    validate without building a deployment.
+    """
+    known = set(known_nodes)
+    byzantine = set(byzantine_ids)
+    crashed: set = set()
+    for event in spec.events:
+        action = event.action
+        if event.target is not None and event.target not in known:
+            raise ConfigurationError(
+                f"scenario '{spec.name}' targets unknown node '{event.target}'"
+            )
+        if action == "crash":
+            if event.target in crashed:
+                raise ConfigurationError(
+                    f"scenario '{spec.name}' crashes '{event.target}' at round "
+                    f"{event.round} but it is already crashed (missing recover)"
+                )
+            crashed.add(event.target)
+        if action == "recover":
+            if event.target not in crashed:
+                raise ConfigurationError(
+                    f"scenario '{spec.name}' recovers '{event.target}' at round "
+                    f"{event.round} but it is not crashed at that point"
+                )
+            crashed.discard(event.target)
+        if action == "straggler" and not (_is_number(event.value) and event.value >= 1.0):
+            raise ConfigurationError("straggler events need a factor >= 1.0")
+        if action == "drop_rate" and not (
+            _is_number(event.value) and 0.0 <= event.value < 1.0
+        ):
+            raise ConfigurationError("drop_rate events need a probability in [0, 1)")
+        if action == "partition":
+            for island in normalized_islands(event.value):
+                for node_id in island:
+                    if node_id not in known:
+                        raise ConfigurationError(
+                            f"partition island names unknown node '{node_id}'"
+                        )
+        if action == "byzantine_count":
+            if (
+                isinstance(event.value, bool)
+                or not isinstance(event.value, int)
+                or not (0 <= event.value <= max_byzantine_count)
+            ):
+                raise ConfigurationError(
+                    f"byzantine_count must be an int in [0, "
+                    f"{max_byzantine_count}], got {event.value!r}"
+                )
+        if action in ("attack_start", "attack_stop"):
+            if event.target is not None and event.target not in byzantine:
+                raise ConfigurationError(
+                    f"'{action}' target '{event.target}' is not a Byzantine node"
+                )
+            if event.target is None and not byzantine:
+                raise ConfigurationError(
+                    f"scenario '{spec.name}' toggles attacks but the "
+                    "deployment declares no Byzantine nodes"
+                )
+        if action == "attack_start" and event.value is not None:
+            if event.value not in available_attacks():
+                raise ConfigurationError(
+                    f"attack_start names unknown attack '{event.value}'"
+                )
+
+
 class ScenarioDirector:
     """Applies a :class:`ScenarioSpec` to a live deployment, round by round.
 
@@ -219,67 +351,12 @@ class ScenarioDirector:
         return [node.node_id for node in self.byzantine_nodes]
 
     def _validate(self) -> None:
-        known = set(self.deployment.transport.known_nodes())
-        byzantine = set(self._byzantine_ids())
-        for event in self.spec.events:
-            action = event.action
-            if event.target is not None and event.target not in known:
-                raise ConfigurationError(
-                    f"scenario '{self.spec.name}' targets unknown node '{event.target}'"
-                )
-            if action == "straggler" and not (
-                isinstance(event.value, (int, float)) and event.value >= 1.0
-            ):
-                raise ConfigurationError("straggler events need a factor >= 1.0")
-            if action == "drop_rate" and not (
-                isinstance(event.value, (int, float)) and 0.0 <= event.value < 1.0
-            ):
-                raise ConfigurationError("drop_rate events need a probability in [0, 1)")
-            if action == "partition":
-                islands = event.value
-                if not isinstance(islands, (list, tuple)):
-                    raise ConfigurationError(
-                        "partition value must be a list of node ids or a list of islands"
-                    )
-                if islands and isinstance(islands[0], str):
-                    islands = [islands]
-                for island in islands:
-                    if not isinstance(island, (list, tuple)):
-                        raise ConfigurationError(
-                            "partition islands must be lists of node ids"
-                        )
-                    for node_id in island:
-                        if not isinstance(node_id, str):
-                            raise ConfigurationError(
-                                "partition islands must contain node ids"
-                            )
-                        if node_id not in known:
-                            raise ConfigurationError(
-                                f"partition island names unknown node '{node_id}'"
-                            )
-            if action == "byzantine_count":
-                if not isinstance(event.value, int) or not (
-                    0 <= event.value <= len(self.byzantine_workers)
-                ):
-                    raise ConfigurationError(
-                        f"byzantine_count must be an int in [0, "
-                        f"{len(self.byzantine_workers)}], got {event.value!r}"
-                    )
-            if action in ("attack_start", "attack_stop"):
-                if event.target is not None and event.target not in byzantine:
-                    raise ConfigurationError(
-                        f"'{action}' target '{event.target}' is not a Byzantine node"
-                    )
-                if event.target is None and not byzantine:
-                    raise ConfigurationError(
-                        f"scenario '{self.spec.name}' toggles attacks but the "
-                        "deployment declares no Byzantine nodes"
-                    )
-            if action == "attack_start" and event.value is not None:
-                if event.value not in available_attacks():
-                    raise ConfigurationError(
-                        f"attack_start names unknown attack '{event.value}'"
-                    )
+        validate_timeline(
+            self.spec,
+            self.deployment.transport.known_nodes(),
+            byzantine_ids=self._byzantine_ids(),
+            max_byzantine_count=len(self.byzantine_workers),
+        )
 
     # ------------------------------------------------------------------ #
     def apply(self, round_index: int) -> List[Dict[str, Any]]:

@@ -144,6 +144,18 @@ def should_evaluate(deployment: Deployment, iteration: int) -> bool:
 
 
 # ---------------------------------------------------------------------- #
+# Divergence detection
+# ---------------------------------------------------------------------- #
+#: A round's evaluated loss exceeding ``max(FLOOR, FACTOR * first loss)``
+#: marks the run as diverged; the floor keeps tiny-loss noise from tripping
+#: the factor.  Non-finite losses/update norms always count as divergence.
+DIVERGENCE_LOSS_FACTOR = 25.0
+DIVERGENCE_LOSS_FLOOR = 50.0
+#: Update norms beyond this are treated as numerical blow-up even if finite.
+DIVERGENCE_NORM_BOUND = 1e9
+
+
+# ---------------------------------------------------------------------- #
 # Round context and per-round results
 # ---------------------------------------------------------------------- #
 @dataclass
@@ -181,6 +193,10 @@ class RoundResult:
     loss: Optional[float]
     #: The timing record appended to the deployment's metrics log.
     record: IterationRecord
+    #: Whether this round tripped the divergence detector (non-finite or
+    #: runaway loss / update norm) — the explicit counterpart to silently
+    #: converging to a poisoned model.
+    diverged: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -191,6 +207,7 @@ class RoundResult:
             "update_norm": self.update_norm,
             "accuracy": self.accuracy,
             "loss": self.loss,
+            "diverged": self.diverged,
         }
 
 
@@ -368,6 +385,8 @@ class Session(Iterator[RoundResult]):
         self.stopped_early = False
         self._reporting: Optional[Server] = None
         self._last_result: Optional[RoundResult] = None
+        self._diverged = False
+        self._baseline_loss: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # State
@@ -401,6 +420,11 @@ class Session(Iterator[RoundResult]):
     @property
     def last_result(self) -> Optional[RoundResult]:
         return self._last_result
+
+    @property
+    def diverged(self) -> bool:
+        """Whether any round so far tripped the divergence detector (sticky)."""
+        return self._diverged
 
     @property
     def reporting_server(self) -> Server:
@@ -454,6 +478,13 @@ class Session(Iterator[RoundResult]):
         events = deployment.begin_round(iteration)
         reporting = self.strategy.reporting_server(deployment, iteration)
         self._reporting = reporting
+        if self._baseline_loss is None and deployment.trace is not None:
+            # The divergence detector's reference point is the *pristine*
+            # model, measured before any update is applied — a run that is
+            # poisoned from round 0 must not get to define its own baseline.
+            baseline = reporting.compute_loss()
+            if np.isfinite(baseline):
+                self._baseline_loss = float(baseline)
         for callback in self._round_start_callbacks:
             callback(self, iteration, events)
         accountant = RoundAccountant(deployment, reporting)
@@ -464,6 +495,7 @@ class Session(Iterator[RoundResult]):
         self.strategy.run_round(ctx)
         accuracy = reporting.compute_accuracy() if should_evaluate(deployment, iteration) else None
         record = accountant.end(iteration, accuracy=accuracy)
+        diverged = self._detect_divergence(iteration, record, reporting)
         result = RoundResult(
             iteration=iteration,
             events=tuple(events),
@@ -473,6 +505,7 @@ class Session(Iterator[RoundResult]):
             accuracy=record.accuracy,
             loss=record.loss,
             record=record,
+            diverged=diverged,
         )
         self._last_result = result
         self._next_round += 1
@@ -488,6 +521,38 @@ class Session(Iterator[RoundResult]):
             self._finished = True
             self.stopped_early = True
         return result
+
+    def _detect_divergence(self, iteration: int, record: IterationRecord, reporting: Server) -> bool:
+        """Flag numerical blow-up or runaway loss, loudly, in trace and result.
+
+        Divergence means: a non-finite update norm or loss, an update norm
+        beyond :data:`DIVERGENCE_NORM_BOUND`, or an evaluated loss exceeding
+        ``max(DIVERGENCE_LOSS_FLOOR, DIVERGENCE_LOSS_FACTOR * baseline)``,
+        where the baseline is the pristine model's loss measured before the
+        first update (so a run poisoned from round 0 cannot define its own
+        reference point).  Loss is only observed at evaluation rounds (and
+        only for traced runs, which compute it there), so loss-based
+        detection fires at the first evaluation after the run went bad;
+        norm-based detection fires on any round.  Healthy runs are untouched
+        — the golden traces carry no flag.
+        """
+        norm = reporting.last_update_norm
+        loss = record.loss
+        diverged = False
+        if norm is not None and (not np.isfinite(norm) or norm > DIVERGENCE_NORM_BOUND):
+            diverged = True
+        if loss is not None:
+            if not np.isfinite(loss):
+                diverged = True
+            elif self._baseline_loss is not None and loss > max(
+                DIVERGENCE_LOSS_FLOOR, DIVERGENCE_LOSS_FACTOR * self._baseline_loss
+            ):
+                diverged = True
+        if diverged:
+            self._diverged = True
+            if self.deployment.trace is not None:
+                self.deployment.trace.mark_diverged(iteration)
+        return diverged
 
     def __iter__(self) -> "Session":
         return self

@@ -1,0 +1,141 @@
+"""Session-driven failover coverage for the crash-tolerant strategy.
+
+The existing application tests crash replicas *before* the run; these pin the
+mid-run behaviour when a scenario event kills the reporting server at a round
+boundary: the failover engages within that same round (the scenario director
+applies events before :meth:`reporting_server` runs), training streams on,
+and — because ``_primary_index`` only ever advances — a recovered ex-primary
+is never failed back to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.crash_tolerant import CrashTolerantStrategy
+from repro.core.cluster import ClusterConfig
+from repro.core.controller import Controller
+from repro.core.scenario import ScenarioDirector, ScenarioEvent, ScenarioSpec
+from repro.core.session import Session
+from repro.exceptions import TrainingError
+
+
+class RecordingStrategy(CrashTolerantStrategy):
+    """Crash-tolerant strategy that records which replica reported each round."""
+
+    def __init__(self):
+        self.primaries = []
+
+    def reporting_server(self, deployment, iteration):
+        server = super().reporting_server(deployment, iteration)
+        self.primaries.append(server.node_id)
+        return server
+
+
+def _session(events, *, num_servers=3, num_iterations=8):
+    config = ClusterConfig(
+        deployment="crash-tolerant",
+        num_servers=num_servers,
+        num_workers=4,
+        model="logistic",
+        dataset_size=144,
+        batch_size=8,
+        num_iterations=num_iterations,
+        learning_rate=0.2,
+        seed=7,
+    )
+    deployment = Controller(config).build()
+    spec = ScenarioSpec(
+        name="failover-test",
+        config={},
+        events=[ScenarioEvent.from_dict(dict(event)) for event in events],
+    )
+    deployment.director = ScenarioDirector(spec, deployment)
+    strategy = RecordingStrategy()
+    return Session(deployment, strategy=strategy), strategy
+
+
+class TestMidRunFailover:
+    def test_failover_engages_in_the_crash_round(self):
+        session, strategy = _session(
+            [{"round": 3, "action": "crash", "target": "server-0"}]
+        )
+        with session:
+            results = list(session)
+        assert len(results) == 8  # the crash cost no rounds
+        # Rounds 0-2 report from server-0; from the crash round onwards the
+        # *same* round already reports from the backup.
+        assert strategy.primaries[:3] == ["server-0"] * 3
+        assert strategy.primaries[3:] == ["server-1"] * 5
+        assert all(r.quorum == 4 for r in results)
+
+    def test_backup_model_stays_consistent_after_failover(self):
+        session, _ = _session(
+            [{"round": 4, "action": "crash", "target": "server-0"}]
+        )
+        with session:
+            list(session)
+            servers = session.deployment.servers
+            # Both survivors kept applying the same averaged updates, and the
+            # new primary's model still learned.
+            assert np.allclose(
+                servers[1].flat_parameters(), servers[2].flat_parameters()
+            )
+            assert servers[1].compute_loss() < 1.0
+
+    def test_no_fail_back_after_recovery(self):
+        session, strategy = _session(
+            [
+                {"round": 2, "action": "crash", "target": "server-0"},
+                {"round": 5, "action": "recover", "target": "server-0"},
+            ]
+        )
+        with session:
+            list(session)
+        # server-0 comes back at round 5 but the primary index only advances:
+        # the rest of the run keeps reporting from server-1.
+        assert strategy.primaries[2:] == ["server-1"] * 6
+
+    def test_cascading_failover_to_last_replica(self):
+        session, strategy = _session(
+            [
+                {"round": 2, "action": "crash", "target": "server-0"},
+                {"round": 5, "action": "crash", "target": "server-1"},
+            ]
+        )
+        with session:
+            results = list(session)
+        assert len(results) == 8
+        assert strategy.primaries[:2] == ["server-0"] * 2
+        assert strategy.primaries[2:5] == ["server-1"] * 3
+        assert strategy.primaries[5:] == ["server-2"] * 3
+
+    def test_all_replicas_crashed_mid_run_is_a_typed_error(self):
+        session, strategy = _session(
+            [
+                {"round": 2, "action": "crash", "target": "server-0"},
+                {"round": 4, "action": "crash", "target": "server-1"},
+                {"round": 6, "action": "crash", "target": "server-2"},
+            ]
+        )
+        produced = []
+        with session:
+            with pytest.raises(TrainingError, match="all server replicas"):
+                for result in session:
+                    produced.append(result.iteration)
+        # Rounds 0-5 streamed out; the failure hits exactly at round 6.
+        assert produced == list(range(6))
+        assert strategy.primaries[-1] == "server-2"
+
+    def test_failover_round_still_records_metrics(self):
+        session, _ = _session(
+            [{"round": 3, "action": "crash", "target": "server-0"}]
+        )
+        with session:
+            results = {r.iteration: r for r in session}
+        crash_round = results[3]
+        assert any(e["action"] == "crash" for e in crash_round.events)
+        assert crash_round.update_norm is not None
+        assert np.isfinite(crash_round.loss) if crash_round.loss is not None else True
+        assert len(session.deployment.metrics) == 8

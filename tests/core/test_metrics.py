@@ -120,3 +120,45 @@ class TestAlignmentProbe:
         vectors = [np.zeros(4), np.ones(4)]
         assert probe.maybe_sample(4, vectors) is None
         assert probe.maybe_sample(12, vectors) is not None
+
+
+class TestTraceDivergenceFlag:
+    def _trace(self):
+        from repro.core.metrics import Trace
+
+        return Trace(scenario="t", deployment="ssmw", seed=1)
+
+    def test_mark_diverged_annotates_the_open_round(self):
+        trace = self._trace()
+        trace.begin_round(0)
+        trace.mark_diverged(0)
+        assert trace.rounds[0]["diverged"] is True
+        assert trace.diverged
+
+    def test_key_absent_on_healthy_rounds(self):
+        trace = self._trace()
+        trace.begin_round(0)
+        trace.begin_round(1)
+        trace.mark_diverged(1)
+        assert "diverged" not in trace.rounds[0]
+        assert trace.rounds[1]["diverged"] is True
+
+    def test_mark_diverged_creates_missing_entry(self):
+        trace = self._trace()
+        entry = trace.mark_diverged(4)
+        assert entry["round"] == 4 and entry["diverged"] is True
+        assert trace.diverged
+
+    def test_flag_survives_json_roundtrip(self):
+        import json
+
+        trace = self._trace()
+        trace.begin_round(0)
+        trace.mark_diverged(0)
+        data = json.loads(trace.to_json())
+        assert data["rounds"][0]["diverged"] is True
+
+    def test_healthy_trace_not_diverged(self):
+        trace = self._trace()
+        trace.begin_round(0)
+        assert not trace.diverged

@@ -224,6 +224,98 @@ class TestDirectorValidation:
             )
 
 
+class TestTimelineConsistency:
+    """Regressions for validation gaps the fuzzing harness depends on.
+
+    The generator self-validates every emitted timeline, so any spec the
+    validator wrongly accepts would surface as a confusing mid-campaign
+    failure rather than a typed :class:`ConfigurationError` at build time.
+    """
+
+    def test_crash_of_already_crashed_node_rejected(self):
+        deployment = build_deployment()
+        with pytest.raises(ConfigurationError, match="already crashed"):
+            ScenarioDirector(
+                spec_of(
+                    [
+                        {"round": 1, "action": "crash", "target": "worker-0"},
+                        {"round": 3, "action": "crash", "target": "worker-0"},
+                    ]
+                ),
+                deployment,
+            )
+
+    def test_recover_of_never_crashed_node_rejected(self):
+        deployment = build_deployment()
+        with pytest.raises(ConfigurationError, match="not crashed"):
+            ScenarioDirector(
+                spec_of([{"round": 2, "action": "recover", "target": "worker-1"}]),
+                deployment,
+            )
+
+    def test_crash_recover_crash_cycle_is_valid(self):
+        deployment = build_deployment()
+        director = ScenarioDirector(
+            spec_of(
+                [
+                    {"round": 0, "action": "crash", "target": "worker-0"},
+                    {"round": 1, "action": "recover", "target": "worker-0"},
+                    {"round": 2, "action": "crash", "target": "worker-0"},
+                ]
+            ),
+            deployment,
+        )
+        assert director is not None
+
+    def test_bool_round_rejected(self):
+        # bool is an int subclass; it must not slip through the round check.
+        with pytest.raises(ConfigurationError, match="non-negative int"):
+            ScenarioEvent(round=True, action="heal")
+
+    def test_bool_byzantine_count_rejected(self):
+        deployment = build_deployment()
+        with pytest.raises(ConfigurationError, match="byzantine_count"):
+            ScenarioDirector(
+                spec_of([{"round": 0, "action": "byzantine_count", "value": True}]),
+                deployment,
+            )
+
+    def test_node_in_two_partition_islands_rejected(self):
+        deployment = build_deployment()
+        with pytest.raises(ConfigurationError, match="two partition islands"):
+            ScenarioDirector(
+                spec_of(
+                    [
+                        {
+                            "round": 0,
+                            "action": "partition",
+                            "value": [["worker-0", "worker-1"], ["worker-1"]],
+                        }
+                    ]
+                ),
+                deployment,
+            )
+
+    def test_empty_partition_island_rejected(self):
+        deployment = build_deployment()
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            ScenarioDirector(
+                spec_of([{"round": 0, "action": "partition", "value": [[]]}]),
+                deployment,
+            )
+
+    def test_validation_errors_name_the_scenario(self):
+        deployment = build_deployment()
+        with pytest.raises(ConfigurationError, match="'bad-spec'"):
+            ScenarioDirector(
+                spec_of(
+                    [{"round": 0, "action": "crash", "target": "ghost-7"}],
+                    name="bad-spec",
+                ),
+                deployment,
+            )
+
+
 class TestDirectorApply:
     def test_failure_actions_drive_the_injector(self):
         deployment = build_deployment()

@@ -536,3 +536,88 @@ class _ExplodingDeployment:
 
     def begin_round(self, iteration):
         raise StopIteration
+
+
+class TestDivergenceDetection:
+    """The divergence flag: loud counterpart to silently poisoned completion."""
+
+    def _traced_session(self, **overrides):
+        from repro.core.scenario import ScenarioDirector, ScenarioSpec
+
+        config = small_config(**overrides)
+        deployment = Controller(config).build()
+        deployment.trace = Trace(
+            scenario="divergence-test", deployment=config.deployment, seed=config.seed
+        )
+        deployment.director = ScenarioDirector(
+            ScenarioSpec(name="divergence-test", config={}, events=[]), deployment
+        )
+        return Session(deployment)
+
+    def test_healthy_run_carries_no_flag(self):
+        with self._traced_session() as session:
+            results = list(session)
+        assert not session.diverged
+        assert not session.deployment.trace.diverged
+        assert all(not r.diverged for r in results)
+        # Golden compatibility: healthy rounds must not even carry the key.
+        assert all("diverged" not in e for e in session.deployment.trace.rounds)
+
+    def test_poisoned_vanilla_run_is_flagged_from_the_pristine_baseline(self):
+        # vanilla averages with f = 0: one reversed attacker poisons every
+        # round, so the loss only ever ascends.  The baseline is captured from
+        # the pristine model *before* the first update — the poisoned run
+        # cannot define its own reference point, and the first evaluation
+        # already trips the factor.
+        with self._traced_session(
+            deployment="vanilla", gradient_gar="average", learning_rate=0.2
+        ) as session:
+            results = list(session)
+        assert session.diverged
+        assert session.deployment.trace.diverged
+        evaluated = [r for r in results if r.loss is not None]
+        assert evaluated and all(r.diverged for r in evaluated)
+
+    def test_norm_blowup_and_nonfinite_loss_flag(self):
+        from types import SimpleNamespace
+
+        from repro.core.session import DIVERGENCE_NORM_BOUND
+
+        with self._traced_session(num_iterations=1) as session:
+            record = lambda loss: SimpleNamespace(loss=loss)
+            server = lambda norm: SimpleNamespace(last_update_norm=norm)
+            assert session._detect_divergence(0, record(None), server(float("inf")))
+            assert session._detect_divergence(0, record(None), server(DIVERGENCE_NORM_BOUND * 2))
+            assert session._detect_divergence(0, record(float("nan")), server(1.0))
+            assert not session._detect_divergence(0, record(None), server(1.0))
+
+    def test_loss_threshold_uses_floor_and_factor(self):
+        from types import SimpleNamespace
+
+        from repro.core.session import DIVERGENCE_LOSS_FACTOR, DIVERGENCE_LOSS_FLOOR
+
+        with self._traced_session(num_iterations=1) as session:
+            session._baseline_loss = 1.0
+            record = lambda loss: SimpleNamespace(loss=loss)
+            server = SimpleNamespace(last_update_norm=1.0)
+            # Factor alone (25 x 1.0) is below the floor: not diverged yet.
+            assert not session._detect_divergence(0, record(DIVERGENCE_LOSS_FACTOR), server)
+            assert session._detect_divergence(0, record(DIVERGENCE_LOSS_FLOOR + 1), server)
+            # With a large baseline the factor dominates the floor.
+            session._diverged = False
+            session._baseline_loss = 10.0
+            assert not session._detect_divergence(0, record(DIVERGENCE_LOSS_FLOOR + 1), server)
+            assert session._detect_divergence(
+                0, record(DIVERGENCE_LOSS_FACTOR * 10.0 + 1), server
+            )
+
+    def test_flag_is_sticky_on_the_session(self):
+        from types import SimpleNamespace
+
+        with self._traced_session(num_iterations=1) as session:
+            record = SimpleNamespace(loss=None)
+            assert session._detect_divergence(0, record, SimpleNamespace(last_update_norm=float("inf")))
+            assert session.diverged
+            # A later healthy round does not clear the run-level flag.
+            assert not session._detect_divergence(1, record, SimpleNamespace(last_update_norm=1.0))
+            assert session.diverged

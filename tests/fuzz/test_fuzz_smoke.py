@@ -1,0 +1,206 @@
+"""Tier-1 scenario-fuzzing smoke: dozens of generated scenarios, all invariants.
+
+This is the ``make fuzz-smoke`` entry point and the acceptance gate of the
+fuzzing subsystem: a fixed-seed campaign of 30+ generated scenarios across all
+five fuzzable deployments and all three fault budgets must pass every
+invariant, the shrinker must reduce failing timelines to minimal reproducing
+specs, and saved specs must replay through the ordinary scenario path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.fuzz import (
+    BUDGETS,
+    FUZZ_DEPLOYMENTS,
+    FuzzCase,
+    InvariantChecker,
+    ScenarioGenerator,
+    run_campaign,
+    shrink_case,
+)
+from repro.core.scenario import ScenarioEvent, ScenarioSpec, load_scenario
+
+pytestmark = pytest.mark.fuzz
+
+#: The pinned smoke campaign: everything in tier-1 hangs off this seed.
+SMOKE_SEED = 2026
+SMOKE_COUNT = 30
+
+
+@pytest.fixture(scope="module")
+def smoke_campaign():
+    """One 30-case campaign shared by the assertions below (runs once)."""
+    return run_campaign(seed=SMOKE_SEED, count=SMOKE_COUNT, shrink=False)
+
+
+class TestSmokeCampaign:
+    def test_every_invariant_passes(self, smoke_campaign):
+        failures = smoke_campaign.failures
+        details = [
+            (report.case.name, [v.to_dict() for v in report.violations])
+            for report in failures
+        ]
+        assert not failures, f"invariant violations in the smoke campaign: {details}"
+
+    def test_covers_all_deployments_and_budgets(self, smoke_campaign):
+        deployments = {report.case.deployment for report in smoke_campaign.reports}
+        budgets = {report.case.budget for report in smoke_campaign.reports}
+        assert len(smoke_campaign.reports) >= 30
+        assert deployments == set(FUZZ_DEPLOYMENTS)  # >= 3 required; all 5 covered
+        assert budgets == set(BUDGETS)
+
+    def test_beyond_budget_cases_fail_loudly(self, smoke_campaign):
+        beyond = [r for r in smoke_campaign.reports if r.case.budget == "beyond"]
+        assert beyond
+        for report in beyond:
+            assert report.error is not None or report.diverged, (
+                f"{report.case.name} exceeded the fault margin but neither raised "
+                "a typed error nor set the divergence flag"
+            )
+            if report.error is not None:
+                assert report.error in ("TimeoutError", "TrainingError", "NodeCrashedError")
+
+    def test_tolerated_cases_complete_and_converge(self, smoke_campaign):
+        guaranteed = [r for r in smoke_campaign.reports if r.case.guarantees_completion]
+        assert guaranteed, "the smoke seed produced no guaranteed-completion cases"
+        for report in guaranteed:
+            assert report.error is None
+            assert not report.diverged
+            assert report.rounds_run == report.case.spec.config["num_iterations"]
+
+    def test_report_summary_shape(self, smoke_campaign, tmp_path):
+        data = smoke_campaign.to_dict()
+        assert data["passed"] is True
+        assert data["scenarios_run"] == SMOKE_COUNT
+        assert set(data["deployments"]) == set(FUZZ_DEPLOYMENTS)
+        path = tmp_path / "FUZZ_report.json"
+        smoke_campaign.save_report(path)
+        assert json.loads(path.read_text())["scenarios_run"] == SMOKE_COUNT
+
+
+class TestHarnessTeeth:
+    """A deliberately broken GAR must be caught — the harness-has-teeth gate.
+
+    The bug is injected via monkeypatch (never committed): Median silently
+    degrades to a plain mean, which a Byzantine worker can steer.
+    """
+
+    def test_mutated_median_is_caught(self, monkeypatch):
+        import numpy as np
+
+        from repro.aggregators.base import GAR_REGISTRY
+
+        monkeypatch.setattr(
+            GAR_REGISTRY["median"],
+            "aggregate_matrix",
+            lambda self, matrix: np.asarray(matrix).mean(axis=0),
+        )
+        campaign = run_campaign(
+            seed=SMOKE_SEED,
+            count=SMOKE_COUNT,
+            shrink=False,
+            determinism=False,
+            cross_executor_every=0,
+            pause_resume_every=0,
+        )
+        caught = {
+            violation.invariant
+            for report in campaign.failures
+            for violation in report.violations
+        }
+        assert caught, "no invariant caught the mean-instead-of-median mutation"
+        assert caught & {"bounded-update-norm", "tolerated-divergence", "convergence"}
+
+
+def _over_budget_case() -> FuzzCase:
+    """A hand-built tolerated-budget case whose timeline actually over-spends.
+
+    Three simultaneous crashes against a margin of two: the checker must flag
+    liveness, and the shrinker must find that exactly margin+1 of the crash
+    events (plus none of the garnish) reproduce the violation.
+    """
+    generator = ScenarioGenerator(seed=SMOKE_SEED)
+    base = generator.case(5)  # an ssmw 'at'-budget case: margin == f_w
+    config = dict(base.spec.config)
+    config.update(
+        num_workers=7, num_byzantine_workers=2, num_attacking_workers=0,
+        gradient_gar="median", num_iterations=8, accuracy_every=4,
+    )
+    events = [
+        {"round": 1, "action": "straggler", "target": "worker-5", "value": 4.0},
+        {"round": 2, "action": "crash", "target": "worker-0"},
+        {"round": 2, "action": "crash", "target": "worker-1"},
+        {"round": 2, "action": "crash", "target": "worker-2"},
+        {"round": 5, "action": "clear_straggler", "target": "worker-5"},
+    ]
+    spec = ScenarioSpec(
+        name="fuzz-overspent",
+        description="3 crashes against margin 2",
+        config=config,
+        events=[ScenarioEvent.from_dict(e) for e in events],
+    )
+    return dataclasses.replace(
+        base, spec=spec, margin=2, mechanism="crash",
+        guarantees_completion=True, expects_loud_failure=False,
+    )
+
+
+class TestShrinker:
+    def test_shrinks_to_minimal_crash_set(self):
+        case = _over_budget_case()
+        checker = InvariantChecker()
+        report = checker.check(case, determinism=False)
+        assert {v.invariant for v in report.violations} == {"liveness"}
+        shrunk = shrink_case(case, report, checker=checker)
+        # 1-minimal: exactly margin+1 crashes survive, no garnish.
+        assert len(shrunk.events) == 3
+        assert all(event.action == "crash" for event in shrunk.events)
+
+    def test_shrunk_spec_replays_via_scenario_path(self, tmp_path):
+        case = _over_budget_case()
+        checker = InvariantChecker()
+        report = checker.check(case, determinism=False)
+        shrunk = shrink_case(case, report, checker=checker)
+        path = tmp_path / f"{shrunk.name}.json"
+        shrunk.save(path)
+        loaded = load_scenario(str(path))
+        assert [e.to_dict() for e in loaded.events] == [e.to_dict() for e in shrunk.events]
+        # The saved spec drives the ordinary `repro run --scenario` path and
+        # reproduces the loud failure it was shrunk for.
+        from repro.cli import main
+        from repro.exceptions import TimeoutError
+
+        with pytest.raises(TimeoutError):
+            main(["run", "--scenario", str(path)])
+
+    def test_campaign_saves_failing_specs(self, tmp_path, monkeypatch):
+        import numpy as np
+
+        from repro.aggregators.base import GAR_REGISTRY
+
+        monkeypatch.setattr(
+            GAR_REGISTRY["median"],
+            "aggregate_matrix",
+            lambda self, matrix: np.asarray(matrix).mean(axis=0),
+        )
+        save_dir = tmp_path / "failing"
+        campaign = run_campaign(
+            seed=SMOKE_SEED,
+            count=10,
+            start=15,  # window known to contain a median-GAR tolerated case
+            determinism=False,
+            cross_executor_every=0,
+            pause_resume_every=0,
+            shrink=True,
+            save_dir=str(save_dir),
+        )
+        assert campaign.failures
+        for report in campaign.failures:
+            assert report.saved_path is not None
+            saved = ScenarioSpec.load(report.saved_path)
+            assert saved.config == report.case.spec.config

@@ -1,0 +1,70 @@
+"""Tier-2 fuzzing sweep: hundreds of generated scenarios, full invariant set.
+
+This is the ``make fuzz`` entry point.  It is deliberately *not* part of
+tier-1: a few hundred end-to-end training runs take minutes, so the module
+skips unless ``REPRO_FUZZ_SWEEP=1`` is set (the Makefile target sets it).
+The sweep writes its campaign summary to ``FUZZ_report.json`` at the repo
+root; override the destination with ``REPRO_FUZZ_REPORT`` and the scale with
+``REPRO_FUZZ_COUNT`` / ``REPRO_FUZZ_SEED``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.fuzz import BUDGETS, FUZZ_DEPLOYMENTS, run_campaign
+
+pytestmark = [
+    pytest.mark.fuzz,
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        os.environ.get("REPRO_FUZZ_SWEEP") != "1",
+        reason="tier-2 sweep; run via `make fuzz` (sets REPRO_FUZZ_SWEEP=1)",
+    ),
+]
+
+SWEEP_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+SWEEP_COUNT = int(os.environ.get("REPRO_FUZZ_COUNT", "300"))
+REPORT_PATH = Path(
+    os.environ.get(
+        "REPRO_FUZZ_REPORT", Path(__file__).resolve().parents[2] / "FUZZ_report.json"
+    )
+)
+
+
+def test_sweep_campaign_holds_every_invariant(capsys):
+    def progress(report):
+        if report.passed:
+            return
+        with capsys.disabled():
+            print(f"  FAIL {report.case.name}: "
+                  f"{sorted({v.invariant for v in report.violations})}")
+
+    campaign = run_campaign(
+        seed=SWEEP_SEED,
+        count=SWEEP_COUNT,
+        shrink=True,
+        save_dir=str(REPORT_PATH.parent / "fuzz_failures"),
+        on_report=progress,
+    )
+    campaign.save_report(REPORT_PATH)
+    with capsys.disabled():
+        print(
+            f"\nfuzz sweep: {len(campaign.reports)} scenarios, "
+            f"{len(campaign.failures)} failing — report at {REPORT_PATH}"
+        )
+
+    data = json.loads(REPORT_PATH.read_text())
+    assert data["scenarios_run"] == SWEEP_COUNT
+    assert set(data["deployments"]) == set(FUZZ_DEPLOYMENTS)
+    assert set(data["budgets"]) == set(BUDGETS)
+    assert not campaign.failures, (
+        f"{len(campaign.failures)} scenario(s) violated invariants; shrunk "
+        f"reproducing specs saved under {REPORT_PATH.parent / 'fuzz_failures'} "
+        f"(replay with `repro run --scenario <spec.json>` or "
+        f"`repro fuzz --seed {SWEEP_SEED} --start <index> --count 1`)"
+    )

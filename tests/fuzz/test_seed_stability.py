@@ -1,0 +1,66 @@
+"""Seed-stability regression: pinned generator outputs as checked-in fixtures.
+
+A failing fuzz case is only reproducible across commits if
+``ScenarioGenerator(seed).case(index)`` keeps emitting the *same* spec — the
+replay hint printed by ``repro fuzz`` (``--seed S --start I --count 1``) and
+every saved failing-spec JSON depend on it.  These fixtures freeze five
+(seed, index) pairs spanning all five deployments and all three budgets; if a
+generator change breaks them, either make the change backward-compatible or
+consciously re-bless the fixtures and call the break out in the changelog.
+
+Re-bless with::
+
+    PYTHONPATH=src python tests/fuzz/test_seed_stability.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.fuzz import ScenarioGenerator
+
+pytestmark = pytest.mark.fuzz
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: (seed, index) pairs pinned by the fixtures — together they cover every
+#: deployment and every budget the generator can emit.
+PINS = [(2026, 0), (2026, 7), (2026, 14), (777, 3), (777, 11)]
+
+
+def _fixture_path(seed: int, index: int) -> Path:
+    return FIXTURES / f"seed{seed}_case{index}.json"
+
+
+def _render(seed: int, index: int) -> str:
+    case = ScenarioGenerator(seed=seed).case(index)
+    return json.dumps(case.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+@pytest.mark.parametrize("seed,index", PINS)
+def test_pinned_case_matches_fixture(seed, index):
+    expected = _fixture_path(seed, index).read_text()
+    assert _render(seed, index) == expected, (
+        f"ScenarioGenerator(seed={seed}).case({index}) no longer matches its "
+        f"pinned fixture — saved failing specs and `repro fuzz --start` replay "
+        f"hints from older runs would stop reproducing. Re-bless deliberately "
+        f"with `python {Path(__file__).name}` (in tests/fuzz/) if intended."
+    )
+
+
+def test_fixtures_cover_all_deployments_and_budgets():
+    payloads = [json.loads(_fixture_path(s, i).read_text()) for s, i in PINS]
+    assert {p["deployment"] for p in payloads} == {
+        "ssmw", "aggregathor", "msmw", "decentralized", "crash-tolerant"
+    }
+    assert {p["budget"] for p in payloads} == {"below", "at", "beyond"}
+
+
+if __name__ == "__main__":  # re-bless: rewrite every fixture from the pins
+    FIXTURES.mkdir(exist_ok=True)
+    for seed, index in PINS:
+        _fixture_path(seed, index).write_text(_render(seed, index))
+        print(f"blessed {_fixture_path(seed, index)}")

@@ -159,3 +159,73 @@ class TestRunCommand:
         )
         assert code == 0
         assert "over 2 iterations" in capsys.readouterr().out
+
+
+class TestFuzzCommand:
+    def test_small_campaign_passes_and_prints_per_case_lines(self, capsys):
+        code = main(["fuzz", "--seed", "2026", "--count", "3", "--no-determinism"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count(" ok") >= 3
+        assert "fuzz: 3 scenarios (seed 2026), 0 invariant failure(s)" in out
+
+    def test_quiet_suppresses_per_case_lines(self, capsys):
+        code = main(["fuzz", "--seed", "2026", "--count", "2", "--quiet", "--no-determinism"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "case " not in out
+        assert "fuzz: 2 scenarios" in out
+
+    def test_report_flag_writes_campaign_summary(self, tmp_path, capsys):
+        report = tmp_path / "FUZZ_report.json"
+        code = main(
+            [
+                "fuzz", "--seed", "2026", "--count", "3",
+                "--no-determinism", "--report", str(report),
+            ]
+        )
+        assert code == 0
+        data = json.loads(report.read_text())
+        assert data["passed"] is True
+        assert data["scenarios_run"] == 3
+        assert str(report) in capsys.readouterr().out
+
+    def test_deployment_and_budget_filters(self, capsys):
+        code = main(
+            [
+                "fuzz", "--seed", "1", "--count", "2", "--no-determinism",
+                "--deployments", "ssmw", "--budgets", "below",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ssmw" in out
+        assert "aggregathor" not in out and "beyond" not in out
+
+    def test_failure_exits_nonzero_and_saves_shrunk_spec(self, tmp_path, capsys, monkeypatch):
+        import numpy as np
+
+        from repro.aggregators.base import GAR_REGISTRY
+
+        # Inject a GAR bug for the duration of the campaign: median degrades
+        # to a plain mean, which Byzantine gradients can steer.
+        monkeypatch.setattr(
+            GAR_REGISTRY["median"],
+            "aggregate_matrix",
+            lambda self, matrix: np.asarray(matrix).mean(axis=0),
+        )
+        save_dir = tmp_path / "failing"
+        code = main(
+            [
+                "fuzz", "--seed", "2026", "--start", "15", "--count", "10",
+                "--no-determinism", "--cross-executor-every", "0",
+                "--pause-resume-every", "0", "--save", str(save_dir),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "invariant failure(s)" in out and " 0 invariant" not in out
+        assert "replay: repro fuzz --seed 2026 --start" in out
+        saved = list(save_dir.glob("*.json"))
+        assert saved, "failing specs were not saved"
+        assert "config" in json.loads(saved[0].read_text())
