@@ -10,6 +10,9 @@
 #   make bench-smoke    — the async fastest-q speedup benchmark (~10 s)
 #   make bench-hotpath  — zero-copy pipeline vs legacy copy chain; writes
 #                         BENCH_hotpath.json and checks the acceptance bar
+#   make bench-wire     — negotiated wire formats: bytes on the wire, decode
+#                         throughput and an attack x GAR robustness sweep;
+#                         writes BENCH_wire.json and checks the byte ratios
 #   make bench          — the full figure-reproduction benchmark suite (minutes)
 #   make fuzz-smoke     — tier-1 scenario-fuzzing smoke: fixed seeds, dozens of
 #                         generated scenarios, every invariant checked
@@ -21,7 +24,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-session test-scenarios test-backends update-golden bench-smoke bench-hotpath bench fuzz-smoke fuzz docs-check quickstart
+.PHONY: test test-session test-scenarios test-backends update-golden bench-smoke bench-hotpath bench-wire bench fuzz-smoke fuzz docs-check quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,6 +47,9 @@ bench-smoke:
 
 bench-hotpath:
 	$(PYTHON) benchmarks/bench_hotpath.py
+
+bench-wire:
+	$(PYTHON) benchmarks/bench_wire.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s

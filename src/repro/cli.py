@@ -82,6 +82,15 @@ def build_parser() -> argparse.ArgumentParser:
             "fixed seed"
         ),
     )
+    run_parser.add_argument(
+        "--wire-format",
+        default="float64",
+        help=(
+            "payload encoding negotiated between nodes: base[+delta][+zlib|+zstd] "
+            "with base float64 (bit-exact default), float32, float16 or int8 "
+            "(quantized); e.g. 'float16' or 'int8+delta+zlib'"
+        ),
+    )
     run_parser.add_argument("--asynchronous", action="store_true")
     run_parser.add_argument("--non-iid", action="store_true")
     run_parser.add_argument(
@@ -256,6 +265,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         asynchronous=args.asynchronous,
         non_iid=args.non_iid,
         executor=args.executor,
+        wire_format=args.wire_format,
         seed=args.seed,
     )
     if args.scenario:

@@ -17,6 +17,7 @@ from repro.aggregators.base import GAR_REGISTRY
 from repro.core.executor import EXECUTOR_REGISTRY
 from repro.exceptions import ConfigurationError
 from repro.network.cost import DEVICES, FRAMEWORKS
+from repro.network.serialization import parse_wire_format
 from repro.network.topology import DEPLOYMENTS
 
 
@@ -78,6 +79,13 @@ class ClusterConfig:
     #: When set, the Controller attaches a ScenarioDirector and a Trace
     #: recorder to the deployment.
     scenario: str = ""
+    #: Negotiated wire format for gradient/model payloads:
+    #: ``"base[+delta][+zlib|+zstd]"`` with base one of ``float64`` (the
+    #: bit-exact default), ``float32``, ``float16`` or ``int8`` (per-chunk
+    #: scale/offset quantization).  The in-process backends emulate the
+    #: format through the real codec; the process backend negotiates it in
+    #: the connection hello (see :mod:`repro.network.serialization`).
+    wire_format: str = "float64"
 
     # ------------------------------------------------------------------ #
     def __post_init__(self) -> None:
@@ -122,6 +130,9 @@ class ClusterConfig:
             raise ConfigurationError("executor_workers must be non-negative")
         if not isinstance(self.scenario, str):
             raise ConfigurationError("scenario must be a bundled name or a JSON file path")
+        # Fail at validation time, not mid-round: unknown tokens and
+        # unavailable compressors (+zstd without the module) are both errors.
+        parse_wire_format(self.wire_format, require_available=True)
         if self.gradient_gar not in GAR_REGISTRY:
             raise ConfigurationError(f"unknown gradient GAR '{self.gradient_gar}'")
         if self.model_gar not in GAR_REGISTRY:

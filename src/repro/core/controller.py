@@ -188,7 +188,14 @@ class Controller:
         config = self.config
         device = DEVICES[config.device]
         framework = FRAMEWORKS[config.framework]
-        cost_model = CostModel(device=device, framework=framework)
+        # A default-format run keeps the paper-calibrated byte accounting
+        # (wire_format=None); any negotiated format switches the cost model
+        # to the codec's exact framed sizes so reported bytes match the wire.
+        cost_model = CostModel(
+            device=device,
+            framework=framework,
+            wire_format=None if config.wire_format == "float64" else config.wire_format,
+        )
 
         experiment = Experiment(
             model_name=config.model,
@@ -217,7 +224,11 @@ class Controller:
 
             backend = SocketBackend(config=config)
         transport = Transport(
-            failures=failures, seed=config.seed, executor=executor, backend=backend
+            failures=failures,
+            seed=config.seed,
+            executor=executor,
+            backend=backend,
+            wire_format=config.wire_format,
         )
         for node_id, factor in config.straggler_factors.items():
             failures.set_straggler(node_id, factor)

@@ -30,6 +30,17 @@ class CommunicationError(GarfieldError):
     """A simulated RPC failed (timeout, crashed peer, dropped message)."""
 
 
+class SerializationError(CommunicationError):
+    """A wire codec failure: malformed header, truncated body, bad format tag,
+    a delta-encoded vector without its reference, or values outside the range
+    a quantized format can represent.
+
+    Subclasses :class:`CommunicationError` so callers treating any RPC
+    failure uniformly keep working; catch this type to distinguish corrupt
+    bytes from crashed peers.
+    """
+
+
 class TimeoutError(CommunicationError):
     """A blocking collection (``get_gradients`` / ``get_models``) timed out."""
 

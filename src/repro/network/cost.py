@@ -15,6 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exceptions import ConfigurationError
+from repro.network.serialization import (
+    FormatLike,
+    WireFormat,
+    parse_wire_format,
+    serialized_nbytes,
+)
 
 
 @dataclass(frozen=True)
@@ -62,15 +68,14 @@ DEVICES = {"cpu": CPU, "gpu": GPU}
 class NetworkParameters:
     """Link and serialization parameters of the simulated testbed.
 
-    ``bytes_per_element`` deliberately models the **paper's** wire width —
-    the evaluated systems ship float32 tensors, 4 bytes per element — even
-    though our own codec ships float64 (8 bytes per element,
-    :data:`repro.network.serialization.WIRE_BYTES_PER_ELEMENT`).  Keeping the
-    modeled width at 4 keeps the throughput figures calibrated against the
-    published Grid5000 numbers; accounting that should reflect what this
-    repository actually puts on a socket uses
-    :func:`repro.network.serialization.serialized_nbytes` with its float64
-    default instead.  Both accountings are locked down by
+    ``bytes_per_element`` models the **paper's** wire width — the evaluated
+    systems ship float32 tensors, 4 bytes per element.  It is the width
+    :class:`CostModel` charges in its figure-calibration mode (no
+    ``wire_format``), keeping the throughput figures aligned with the
+    published Grid5000 numbers; a cost model built with the deployment's
+    negotiated ``wire_format`` charges the exact framed size of
+    :func:`repro.network.serialization.serialized_nbytes` for that format
+    instead.  Both accountings are locked down by
     ``tests/network/test_cost.py`` / ``tests/network/test_serialization.py``.
     """
 
@@ -134,10 +139,23 @@ class CostModel:
         device: Device = CPU,
         network: NetworkParameters | None = None,
         framework: FrameworkProfile = TENSORFLOW,
+        wire_format: FormatLike | None = None,
     ) -> None:
         self.device = device
         self.network = network or NetworkParameters()
         self.framework = framework
+        #: ``None`` selects figure-calibration accounting (the paper's
+        #: float32 width via ``network.bytes_per_element``); a format makes
+        #: :meth:`message_bytes` return the exact framed size the codec puts
+        #: on a socket for that negotiation.
+        self.wire_format: WireFormat | None = (
+            None if wire_format is None else parse_wire_format(wire_format)
+        )
+
+    @property
+    def is_calibrated_to_paper(self) -> bool:
+        """Whether byte accounting follows the paper constant, not the codec."""
+        return self.wire_format is None
 
     # ------------------------------------------------------------------ #
     def compute_time(
@@ -159,7 +177,16 @@ class CostModel:
         return flops / self.device.flops_per_second
 
     def message_bytes(self, dimension: int) -> int:
-        """Wire size of one model- or gradient-sized message."""
+        """Wire size of one model- or gradient-sized message.
+
+        With a ``wire_format`` this is the exact framed length the codec
+        produces for a ``dimension``-element vector under that negotiation —
+        the same number the transport's stats record — so cost-model bytes
+        and actual bytes-on-the-wire agree for every format.  Without one
+        (figure-calibration mode) it is the paper's ``dimension x 4``.
+        """
+        if self.wire_format is not None:
+            return serialized_nbytes(dimension, fmt=self.wire_format)
         return dimension * self.network.bytes_per_element
 
     def serialization_time(self, dimension: int, num_messages: int, vanilla: bool = False) -> float:

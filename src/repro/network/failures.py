@@ -41,6 +41,12 @@ class FailureInjector:
         if not 0.0 <= self.drop_probability < 1.0:
             raise ValueError("drop_probability must be in [0, 1)")
         self._rng = make_rng(self.seed)
+        # Pristine bit-generator state, restored whenever the drop rate
+        # changes (and by reset()): the drop pattern after a rate change is
+        # then a pure function of the seed and the number of samples drawn
+        # since, never of how many samples the *previous* rate consumed —
+        # which is what keeps serial and threaded runs on one stream.
+        self._pristine_state = self._rng.bit_generator.state
         # node id -> partition group; nodes absent from the map are on the
         # "mainland" (group 0), so a partition is declared by naming only the
         # islands that split off.
@@ -77,10 +83,22 @@ class FailureInjector:
 
     # ------------------------------------------------------------------ #
     def set_drop_rate(self, probability: float) -> None:
-        """Validated mutation of :attr:`drop_probability`."""
+        """Validated mutation of :attr:`drop_probability`.
+
+        Changing the rate also rewinds the drop RNG to its pristine state
+        (under the same lock ``should_drop`` samples through).  Without the
+        rewind, the drop pattern after a mid-round change depends on how many
+        samples the previous rate happened to consume before the director's
+        mutation landed — a count that differs between the serial and
+        threaded engines — silently forking their traces.  After the rewind
+        the pattern is a function of ``(seed, probability, samples drawn
+        since the change)`` only, identical on every engine.
+        """
         if not 0.0 <= probability < 1.0:
             raise ValueError("drop_probability must be in [0, 1)")
         with self._lock:
+            if probability != self.drop_probability:
+                self._rng.bit_generator.state = self._pristine_state
             self.drop_probability = probability
 
     def should_drop(self) -> bool:
@@ -147,4 +165,4 @@ class FailureInjector:
             self.straggler_factors.clear()
             self.drop_probability = 0.0
             self._partition = {}
-            self._rng = make_rng(self.seed)
+            self._rng.bit_generator.state = self._pristine_state

@@ -61,13 +61,27 @@ from repro.exceptions import (
     NodeCrashedError,
 )
 from repro.network.message import RequestContext
+from repro.network.serialization import (
+    PLAIN_FLOAT64,
+    WireFormat,
+    deserialize_vector,
+    parse_wire_format,
+    serialize_with_reconstruction,
+)
 from repro.network.transport import Handler, TransportBackend
 from repro.network.wire import (
     ConnectionClosed,
+    client_hello,
     encode_value,
     recv_message,
     send_frame,
+    server_hello,
 )
+
+#: Response key carrying an explicitly serialized (delta-encoded) vector.
+#: Delta blobs need the receiver's per-stream reference, which the generic
+#: value codec cannot know, so they travel as tagged raw bytes instead.
+VECTOR_BLOB_KEY = "__vector_blob__"
 
 #: First line a node host prints on stdout once its listener is bound.
 READY_PREFIX = "GARFIELD-RPC"
@@ -165,9 +179,20 @@ class RpcClient:
     dial or a reset mid-frame.
     """
 
-    def __init__(self, address: Tuple[str, int], timeout: float = DEFAULT_CALL_TIMEOUT) -> None:
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        timeout: float = DEFAULT_CALL_TIMEOUT,
+        wire_format: WireFormat = PLAIN_FLOAT64,
+    ) -> None:
         self.address = address
         self.timeout = timeout
+        #: Wire format requested in the hello of every new connection.
+        self.wire_format = wire_format
+        #: Format the server actually accepted (after downgrades); set by the
+        #: first successful handshake and identical for every connection to
+        #: the same server, since negotiation is deterministic.
+        self.negotiated: Optional[WireFormat] = None
         self._free: List[_PooledConnection] = []
         self._lock = threading.Lock()
         self._closed = False
@@ -185,7 +210,17 @@ class RpcClient:
                 f"cannot connect to node host at {self.address}: {exc}"
             ) from exc
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return _PooledConnection(sock)
+        conn = _PooledConnection(sock)
+        try:
+            accepted = client_hello(sock, self.wire_format, conn.scratch)
+        except (CommunicationError, OSError) as exc:
+            conn.close()
+            raise NodeCrashedError(
+                f"wire-format handshake with node host at {self.address} "
+                f"failed: {exc}"
+            ) from exc
+        self.negotiated = accepted
+        return conn
 
     def _checkin(self, conn: _PooledConnection) -> None:
         with self._lock:
@@ -231,6 +266,16 @@ class RpcServer:
 
     def __init__(self, dispatcher: Callable[[Dict[str, Any]], Any], host: str = "127.0.0.1") -> None:
         self._dispatcher = dispatcher
+        # Dispatchers that understand negotiated formats take a keyword-only
+        # ``wire_format``; plain callables (the conformance fixtures roll
+        # their own) are served unchanged.
+        import inspect
+
+        try:
+            parameters = inspect.signature(dispatcher).parameters
+            self._dispatcher_takes_format = "wire_format" in parameters
+        except (TypeError, ValueError):  # builtins without signatures
+            self._dispatcher_takes_format = False
         self._listener = socket.create_server((host, 0))
         self.port = self._listener.getsockname()[1]
         self._stopping = threading.Event()
@@ -258,13 +303,25 @@ class RpcServer:
         # peer ever sends (rounds reuse pooled connections client-side too).
         scratch = bytearray(64)
         with conn:
+            # Every connection opens with a hello naming the client's wire
+            # format; the accepted (possibly downgraded) format shapes every
+            # response this connection will ever carry.  Requests stay plain
+            # float64 — state sync must mirror bit-exactly.
+            try:
+                accepted = server_hello(conn, scratch)
+            except (ConnectionClosed, CommunicationError, OSError):
+                return  # not a protocol speaker; drop it
+            encode_format = accepted.without_delta()
             while not self._stopping.is_set():
                 try:
                     message = recv_message(conn, scratch)
                 except (ConnectionClosed, CommunicationError, OSError):
                     return  # peer went away; nothing to answer
                 try:
-                    result = self._dispatcher(message)
+                    if self._dispatcher_takes_format:
+                        result = self._dispatcher(message, wire_format=accepted)
+                    else:
+                        result = self._dispatcher(message)
                     response: Dict[str, Any] = {"ok": True, "result": result}
                 except GarfieldError as exc:
                     response = {
@@ -283,7 +340,7 @@ class RpcServer:
                 # a silently dropped connection the client would misread as
                 # the peer crashing.
                 try:
-                    body = encode_value(response)
+                    body = encode_value(response, encode_format)
                 except CommunicationError as exc:
                     body = encode_value(
                         {
@@ -351,8 +408,39 @@ class _HostDispatcher:
         self.node_id = node_id
         self.node = node
         self.handlers = handlers
+        #: Per-stream reconstructions for delta encoding, keyed by
+        #: ``(requester, kind)``: the iteration last sent on that stream and
+        #: the float64 vector the *receiver* holds after decoding it (the
+        #: quantized reconstruction, not the raw handler output — encoding
+        #: the next delta against anything else would accumulate drift).
+        self._delta_refs: Dict[Tuple[str, str], Tuple[int, np.ndarray]] = {}
+        self._delta_lock = threading.Lock()
 
-    def __call__(self, message: Any) -> Any:
+    def _serialize_pull(
+        self, result: np.ndarray, message: Dict[str, Any], fmt: WireFormat
+    ) -> Dict[str, Any]:
+        """Encode a pull result as an explicit blob, delta-encoded when the
+        client's advertised reference matches ours.
+
+        The client sends ``have`` — the iteration of the last reconstruction
+        it kept for this stream.  Only an exact match licenses a delta; any
+        mismatch (first pull, crashed-and-respawned host, client that lost a
+        reply mid-frame) falls back to an absolute blob, so the scheme is
+        self-healing with no invalidation protocol.
+        """
+        key = (str(message.get("requester", "")), str(message.get("kind", "")))
+        have = int(message.get("have", -1))
+        with self._delta_lock:
+            entry = self._delta_refs.get(key)
+        reference = entry[1] if entry is not None and entry[0] == have else None
+        blob, reconstruction = serialize_with_reconstruction(
+            result, fmt, reference=reference
+        )
+        with self._delta_lock:
+            self._delta_refs[key] = (int(message.get("iteration", 0)), reconstruction)
+        return {VECTOR_BLOB_KEY: blob}
+
+    def __call__(self, message: Any, wire_format: Optional[WireFormat] = None) -> Any:
         if not isinstance(message, dict) or "op" not in message:
             raise CommunicationError(f"malformed RPC request: {message!r}")
         op = message["op"]
@@ -372,7 +460,16 @@ class _HostDispatcher:
                 iteration=int(message.get("iteration", 0)),
                 payload=message.get("payload"),
             )
-            return handler(context)
+            result = handler(context)
+            if (
+                wire_format is not None
+                and wire_format.delta
+                and isinstance(result, np.ndarray)
+                and result.dtype == np.float64
+                and result.ndim == 1
+            ):
+                return self._serialize_pull(result, message, wire_format)
+            return result
         if self.node is None:
             raise CommunicationError(f"probe host cannot serve op '{op}'")
         if op == "sync":
@@ -525,14 +622,21 @@ class SocketBackend(TransportBackend):
                 "SocketBackend needs a ClusterConfig or explicit probe nodes"
             )
         self._host_config: Optional[Dict[str, Any]] = None
+        self._wire_format = PLAIN_FLOAT64
         if config is not None:
+            self._wire_format = parse_wire_format(
+                getattr(config, "wire_format", "float64")
+            )
             # Hosts rebuild the world in-process: force the serial engine and
             # strip the scenario so they never recurse into spawning or attach
-            # their own director.
+            # their own director.  The wire format is stripped too — it lives
+            # in the coordinator↔host hello, and a host whose in-process
+            # transport re-quantized already-quantized pulls would drift.
             host_config = dict(config.to_dict())
             host_config["executor"] = "serial"
             host_config["executor_workers"] = 0
             host_config["scenario"] = ""
+            host_config["wire_format"] = "float64"
             self._host_config = host_config
         super().__init__()  # the shared handler table: planning-side mirror
         self._probe_nodes = list(probe_nodes)
@@ -542,6 +646,11 @@ class SocketBackend(TransportBackend):
         self._workdir: Optional[Path] = None
         self._started = False
         self._lock = threading.RLock()
+        #: Coordinator-side mirror of the hosts' delta caches, keyed by
+        #: ``(node_id, requester, kind)``: iteration last decoded on that
+        #: stream plus its reconstruction (the delta reference).
+        self._delta_refs: Dict[Tuple[str, str, str], Tuple[int, np.ndarray]] = {}
+        self._delta_lock = threading.Lock()
 
     def node_ids(self) -> List[str]:
         ids = {node_id for node_id, _ in self._handlers}
@@ -636,7 +745,11 @@ class SocketBackend(TransportBackend):
                 f"node host '{host.node_id}' printed a malformed ready line: {line}"
             )
         host.port = int(line[2])
-        host.client = RpcClient(("127.0.0.1", host.port), timeout=self.call_timeout)
+        host.client = RpcClient(
+            ("127.0.0.1", host.port),
+            timeout=self.call_timeout,
+            wire_format=self._wire_format,
+        )
 
     def close(self) -> None:
         with self._lock:
@@ -689,16 +802,34 @@ class SocketBackend(TransportBackend):
     def invoke(self, node_id: str, kind: str, context: RequestContext) -> Any:
         if not self._started:
             raise CommunicationError("socket backend not started")
-        return self._live_client(node_id).call(
-            {
-                "op": "pull",
-                "node": node_id,
-                "kind": kind,
-                "requester": context.requester,
-                "iteration": context.iteration,
-                "payload": context.payload,
-            }
-        )
+        message: Dict[str, Any] = {
+            "op": "pull",
+            "node": node_id,
+            "kind": kind,
+            "requester": context.requester,
+            "iteration": context.iteration,
+            "payload": context.payload,
+        }
+        entry = None
+        if self._wire_format.delta:
+            key = (node_id, context.requester, kind)
+            with self._delta_lock:
+                entry = self._delta_refs.get(key)
+            # Advertise which reconstruction we hold; the host delta-encodes
+            # only on an exact match, so a crash on either side simply costs
+            # one absolute-encoded reply.
+            message["have"] = entry[0] if entry is not None else -1
+        result = self._live_client(node_id).call(message)
+        if isinstance(result, dict) and VECTOR_BLOB_KEY in result:
+            reference = entry[1] if entry is not None else None
+            decoded = deserialize_vector(
+                result[VECTOR_BLOB_KEY], copy=True, reference=reference
+            )
+            if self._wire_format.delta:
+                with self._delta_lock:
+                    self._delta_refs[key] = (context.iteration, decoded)
+            return decoded
+        return result
 
     def _buffer_if_down(self, node_id: str, message: Dict[str, Any]) -> bool:
         """Queue ``message`` for post-recover replay when the host is down.

@@ -1,4 +1,4 @@
-"""Vector serialization, substituting for protocol buffers over gRPC.
+"""Vector serialization with negotiated wire formats.
 
 The paper notes that TensorFlow tensors cannot be serialized directly by
 protocol buffers, forcing a context switch between the TensorFlow runtime and
@@ -7,105 +7,583 @@ the switch.  The functions here perform real byte-level serialization (so
 round-trips are verifiable in tests) and expose the size accounting the cost
 model needs.
 
+Every blob is self-describing: after the magic comes one **format byte**
+whose low nibble selects the base element encoding and whose high bits flag
+the optional transforms:
+
+=========== ====== ==================================================
+base        code   payload encoding
+=========== ====== ==================================================
+``float64`` ``0``  raw little-endian float64 — bit-exact passthrough
+``float32`` ``1``  values rounded to float32 (4 B/element)
+``float16`` ``2``  values rounded to float16 (2 B/element)
+``int8``    ``3``  per-chunk scale/offset quantization: the vector is
+                   split into chunks of :data:`INT8_CHUNK_ELEMENTS`
+                   elements, each stored as ``(scale, mid)`` float64
+                   pairs plus one uint8 code per element; the
+                   reconstruction error is bounded by ``scale / 2``
+                   per element
+=========== ====== ==================================================
+
+* flag ``0x10`` — **delta encoding**: the payload encodes ``vector -
+  reference`` (e.g. against the previous round's model); the receiver must
+  pass the same ``reference`` to :func:`deserialize_vector`.
+* flag ``0x20`` — **compression**: the payload is wrapped in a one-byte
+  compressor id (``1`` = zlib, ``2`` = zstd) plus a u64 raw length followed
+  by the compressed bytes.  zstd is used only when the optional ``zstandard``
+  module is importable (:data:`HAVE_ZSTD`); zlib is always available.
+
+Formats are spelled as strings — ``"float64"``, ``"float32"``, ``"int8"``,
+optionally with ``+delta`` and/or ``+zlib`` / ``+zstd`` modifiers, e.g.
+``"int8+delta+zlib"`` — and parsed by :func:`parse_wire_format` into a
+:class:`WireFormat`.
+
 The codec is copy-free in both directions where the buffer rules allow it:
 
 * :func:`serialize_vector_parts` emits ``(header, memoryview-of-the-array)``
-  without ever calling ``tobytes()`` — the array's own buffer goes straight
-  into the socket / frame join.
+  for the float64 passthrough without ever calling ``tobytes()`` — the
+  array's own buffer goes straight into the socket / frame join.
 * :func:`deserialize_vector` returns a **read-only** ``np.frombuffer`` view
   into the received blob by default (the blob stays alive through the view's
-  ``base``); pass ``copy=True`` for an owned, writable array.
+  ``base``) for the float64/float32/float16 bases; int8 dequantizes, either
+  into a caller-supplied ``out`` row (e.g. the preallocated
+  :class:`~repro.network.transport.RoundBuffer` row) or into one fresh
+  array.  Pass ``copy=True`` for an owned, writable float64 array.
 
-Note the wire ships float64 (:data:`WIRE_BYTES_PER_ELEMENT` = 8 bytes per
-element) while the paper's systems ship float32 tensors; see
-:mod:`repro.network.cost` for how the two accountings are kept apart.
+All codec failures raise :class:`~repro.exceptions.SerializationError` (a
+:class:`~repro.exceptions.CommunicationError`): bad magic, unknown format
+byte, truncated bodies — including bodies whose length is not a multiple of
+the element width — and delta blobs decoded without their reference.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List, Union
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import CommunicationError
+from repro.exceptions import ConfigurationError, SerializationError
+
+try:  # pragma: no cover - exercised only where the wheel is installed
+    import zstandard as _zstd
+except ImportError:  # the container does not bake zstandard in
+    _zstd = None
+
+#: Whether the optional zstd compressor is importable in this environment.
+HAVE_ZSTD = _zstd is not None
 
 _HEADER = struct.Struct("<Iq")  # (ndim, total elements) followed by dims as int64
 _MAGIC = b"GARF"
+_COMPRESS_HEADER = struct.Struct("<BQ")  # (compressor id, raw payload length)
 
-#: Bytes per element actually shipped by this codec (float64).
+#: Bytes per element of the default float64 passthrough format.
 WIRE_BYTES_PER_ELEMENT = 8
 
 #: Bytes per element of the paper's float32 tensors — what the simulated cost
-#: model charges (see :class:`repro.network.cost.NetworkParameters`).
+#: model charges in its figure-calibration mode (see
+#: :class:`repro.network.cost.NetworkParameters`).
 PAPER_BYTES_PER_ELEMENT = 4
+
+#: Elements per int8 quantization chunk; each chunk stores a float64
+#: ``(scale, mid)`` pair, so the per-element overhead is 16/4096 bytes.
+INT8_CHUNK_ELEMENTS = 4096
+
+#: Base format name -> (format code, numpy dtype or None, bytes per element).
+_BASES = {
+    "float64": (0, np.dtype("<f8"), 8),
+    "float32": (1, np.dtype("<f4"), 4),
+    "float16": (2, np.dtype("<f2"), 2),
+    "int8": (3, None, 1),
+}
+_BASE_BY_CODE = {code: name for name, (code, _, _) in _BASES.items()}
+
+_FLAG_DELTA = 0x10
+_FLAG_COMPRESSED = 0x20
+
+_COMPRESSORS = {"zlib": 1, "zstd": 2}
+_COMPRESSOR_BY_ID = {code: name for name, code in _COMPRESSORS.items()}
 
 BytesLike = Union[bytes, bytearray, memoryview]
 
 
-def serialize_vector_parts(vector: np.ndarray) -> List[BytesLike]:
-    """Serialize a float64 array into ``[header, payload]`` buffer parts.
+@dataclass(frozen=True)
+class WireFormat:
+    """One negotiated payload encoding: base width + optional transforms."""
 
-    The payload part is a ``memoryview`` of the array's own storage (cast to
-    bytes) — zero copies.  The parts can be written to a socket back to back
-    or joined into one blob; the caller must not mutate the array until the
-    parts have been consumed.  Non-contiguous or non-float64 input is
-    converted first (one unavoidable copy).
+    base: str = "float64"
+    delta: bool = False
+    compression: str = ""  # "", "zlib" or "zstd"
+
+    @property
+    def spec(self) -> str:
+        """Canonical string form, e.g. ``"int8+delta+zlib"``."""
+        parts = [self.base]
+        if self.delta:
+            parts.append("delta")
+        if self.compression:
+            parts.append(self.compression)
+        return "+".join(parts)
+
+    @property
+    def bytes_per_element(self) -> int:
+        """Marginal payload bytes per element (the uncompressed base width)."""
+        return _BASES[self.base][2]
+
+    @property
+    def is_plain_float64(self) -> bool:
+        """Whether this is the bit-exact passthrough the goldens are locked to."""
+        return self.base == "float64" and not self.delta and not self.compression
+
+    def without_delta(self) -> "WireFormat":
+        """The same format minus delta encoding (for reference-less paths)."""
+        return WireFormat(self.base, False, self.compression) if self.delta else self
+
+    def __str__(self) -> str:
+        return self.spec
+
+
+#: The default format: what the codec shipped before negotiation existed.
+PLAIN_FLOAT64 = WireFormat()
+
+FormatLike = Union[str, WireFormat]
+
+
+def parse_wire_format(spec: FormatLike, require_available: bool = False) -> WireFormat:
+    """Parse ``"base[+delta][+zlib|+zstd]"`` into a :class:`WireFormat`.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` on unknown tokens.
+    With ``require_available=True`` a format naming an unavailable compressor
+    (``+zstd`` without the ``zstandard`` module) is rejected too — the check
+    configs should run so a run fails at validation time, not mid-round.
     """
+    if isinstance(spec, WireFormat):
+        fmt = spec
+        if fmt.base not in _BASES:
+            raise ConfigurationError(f"unknown wire format base '{fmt.base}'")
+        if fmt.compression and fmt.compression not in _COMPRESSORS:
+            raise ConfigurationError(f"unknown wire compressor '{fmt.compression}'")
+    else:
+        if not isinstance(spec, str) or not spec.strip():
+            raise ConfigurationError(f"wire format must be a non-empty string, got {spec!r}")
+        base: Optional[str] = None
+        delta = False
+        compression = ""
+        for token in spec.strip().lower().split("+"):
+            token = token.strip()
+            if token in _BASES:
+                if base is not None:
+                    raise ConfigurationError(f"wire format '{spec}' names two base widths")
+                base = token
+            elif token == "delta":
+                delta = True
+            elif token in _COMPRESSORS:
+                if compression:
+                    raise ConfigurationError(f"wire format '{spec}' names two compressors")
+                compression = token
+            else:
+                raise ConfigurationError(
+                    f"unknown wire format token '{token}' in '{spec}'; bases: "
+                    f"{sorted(_BASES)}, modifiers: 'delta', {sorted(_COMPRESSORS)}"
+                )
+        if base is None:
+            raise ConfigurationError(f"wire format '{spec}' names no base width")
+        fmt = WireFormat(base, delta, compression)
+    if require_available and fmt.compression == "zstd" and not HAVE_ZSTD:
+        raise ConfigurationError(
+            "wire format requests zstd but the 'zstandard' module is not "
+            "installed in this environment; use '+zlib' instead"
+        )
+    return fmt
+
+
+def format_byte(fmt: WireFormat) -> int:
+    """The one-byte on-wire encoding of a :class:`WireFormat`."""
+    value = _BASES[fmt.base][0]
+    if fmt.delta:
+        value |= _FLAG_DELTA
+    if fmt.compression:
+        value |= _FLAG_COMPRESSED
+    return value
+
+
+def format_from_byte(value: int, compressor_id: int = 0) -> WireFormat:
+    """Inverse of :func:`format_byte` (compressor resolved separately)."""
+    base = _BASE_BY_CODE.get(value & 0x0F)
+    if base is None or value & ~(0x0F | _FLAG_DELTA | _FLAG_COMPRESSED):
+        raise SerializationError(f"unknown wire format byte 0x{value:02x}")
+    compression = ""
+    if value & _FLAG_COMPRESSED:
+        compression = _COMPRESSOR_BY_ID.get(compressor_id, "")
+        if not compression:
+            raise SerializationError(f"unknown wire compressor id {compressor_id}")
+    return WireFormat(base, bool(value & _FLAG_DELTA), compression)
+
+
+# ---------------------------------------------------------------------- #
+# int8 per-chunk quantization
+# ---------------------------------------------------------------------- #
+def _int8_nchunks(size: int) -> int:
+    return (size + INT8_CHUNK_ELEMENTS - 1) // INT8_CHUNK_ELEMENTS
+
+
+def _quantize_int8(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Quantize a flat float64 array into per-chunk (scale, mid) + uint8 codes.
+
+    Each chunk's values are mapped onto the 256-point grid ``mid + (code -
+    127.5) * scale`` with ``scale = (hi - lo) / 255`` — so every element
+    reconstructs within ``scale / 2``.  The midpoint/half-range arithmetic is
+    ordered to stay finite for any finite inputs (``hi - lo`` may overflow
+    float64 where ``hi/2 - lo/2`` cannot).
+    """
+    size = values.size
+    nchunks = _int8_nchunks(size)
+    scales = np.empty(nchunks, dtype=np.float64)
+    mids = np.empty(nchunks, dtype=np.float64)
+    codes = np.empty(size, dtype=np.uint8)
+    for index in range(nchunks):
+        start = index * INT8_CHUNK_ELEMENTS
+        chunk = values[start : start + INT8_CHUNK_ELEMENTS]
+        lo = float(chunk.min())
+        hi = float(chunk.max())
+        if not (np.isfinite(lo) and np.isfinite(hi)):
+            raise SerializationError(
+                "int8 wire format requires finite values; "
+                "use float16/float32 for payloads that may overflow"
+            )
+        half_range = hi / 2.0 - lo / 2.0  # finite for any finite lo <= hi
+        mid = lo + half_range
+        scale = half_range / 127.5
+        scales[index] = scale
+        mids[index] = mid
+        if scale > 0.0:
+            quantized = np.rint((chunk - mid) / scale + 127.5)
+            codes[start : start + chunk.size] = np.clip(quantized, 0.0, 255.0).astype(
+                np.uint8
+            )
+        else:  # constant chunk: reconstruction is exactly mid
+            codes[start : start + chunk.size] = 0
+    return scales, mids, codes
+
+
+def _dequantize_int8(
+    scales: np.ndarray, mids: np.ndarray, codes: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    size = codes.size
+    result = out if out is not None else np.empty(size, dtype=np.float64)
+    for index in range(scales.size):
+        start = index * INT8_CHUNK_ELEMENTS
+        stop = min(start + INT8_CHUNK_ELEMENTS, size)
+        chunk = result[start:stop]
+        np.subtract(codes[start:stop], 127.5, out=chunk, casting="unsafe")
+        if scales[index] != 0.0:
+            chunk *= scales[index]
+            chunk += mids[index]
+        else:
+            chunk[...] = mids[index]
+    return result
+
+
+def int8_payload_nbytes(size: int) -> int:
+    """Payload bytes of an int8-quantized vector of ``size`` elements."""
+    return 16 * _int8_nchunks(size) + size
+
+
+# ---------------------------------------------------------------------- #
+# Serialization
+# ---------------------------------------------------------------------- #
+def _compress_payload(parts: List[BytesLike], compression: str) -> List[BytesLike]:
+    raw = b"".join(bytes(part) for part in parts)
+    if compression == "zstd":
+        if not HAVE_ZSTD:
+            raise ConfigurationError(
+                "zstd wire compression requested but the 'zstandard' module "
+                "is not installed; use '+zlib' instead"
+            )
+        packed = _zstd.ZstdCompressor().compress(raw)
+    else:
+        packed = zlib.compress(raw, level=1)
+    return [_COMPRESS_HEADER.pack(_COMPRESSORS[compression], len(raw)), packed]
+
+
+def serialize_vector_parts(
+    vector: np.ndarray,
+    fmt: FormatLike = PLAIN_FLOAT64,
+    reference: Optional[np.ndarray] = None,
+) -> List[BytesLike]:
+    """Serialize an array into ``[header, *payload]`` buffer parts.
+
+    For the default float64 passthrough the payload part is a ``memoryview``
+    of the array's own storage (cast to bytes) — zero copies; the parts can
+    be written to a socket back to back or joined into one blob, and the
+    caller must not mutate the array until the parts have been consumed.
+    Non-contiguous or non-float64 input is converted first (one unavoidable
+    copy).  Narrow and quantized formats materialize their converted payload
+    (the conversion *is* the point).
+
+    With ``fmt.delta``, ``reference`` (the receiver's copy of the previous
+    value, same number of elements) must be given and the payload encodes
+    ``vector - reference``.
+    """
+    fmt = parse_wire_format(fmt)
     array = np.ascontiguousarray(vector, dtype=np.float64)
     dims = array.shape
-    header = _MAGIC + _HEADER.pack(len(dims), array.size)
+    header = _MAGIC + bytes([format_byte(fmt)]) + _HEADER.pack(len(dims), array.size)
     if dims:
         header += struct.pack(f"<{len(dims)}q", *dims)
-    return [header, memoryview(array).cast("B")]
+
+    values = array.reshape(-1)
+    if fmt.delta:
+        if reference is None:
+            raise SerializationError(
+                f"wire format '{fmt}' is delta-encoded and needs a reference"
+            )
+        ref = np.asarray(reference, dtype=np.float64).reshape(-1)
+        if ref.size != values.size:
+            raise SerializationError(
+                f"delta reference has {ref.size} elements, vector has {values.size}"
+            )
+        values = values - ref
+
+    if fmt.base == "float64":
+        if values is array.reshape(-1) and not fmt.compression:
+            # Bit-exact passthrough: splice the array's own buffer.
+            return [header, memoryview(array).cast("B")]
+        payload: List[BytesLike] = [memoryview(np.ascontiguousarray(values)).cast("B")]
+    elif fmt.base == "int8":
+        scales, mids, codes = _quantize_int8(values)
+        payload = [
+            memoryview(scales).cast("B"),
+            memoryview(mids).cast("B"),
+            memoryview(codes).cast("B"),
+        ]
+    else:
+        narrowed = values.astype(_BASES[fmt.base][1])
+        payload = [memoryview(narrowed).cast("B")]
+
+    if fmt.compression:
+        payload = _compress_payload(payload, fmt.compression)
+    return [header, *payload]
 
 
-def serialize_vector(vector: np.ndarray) -> bytes:
-    """Serialize a float64 array into a self-describing byte string."""
-    return b"".join(serialize_vector_parts(vector))
+def serialize_vector(
+    vector: np.ndarray,
+    fmt: FormatLike = PLAIN_FLOAT64,
+    reference: Optional[np.ndarray] = None,
+) -> bytes:
+    """Serialize an array into one self-describing byte string."""
+    return b"".join(serialize_vector_parts(vector, fmt, reference))
 
 
-def deserialize_vector(blob: BytesLike, copy: bool = False) -> np.ndarray:
+def serialize_with_reconstruction(
+    vector: np.ndarray,
+    fmt: FormatLike = PLAIN_FLOAT64,
+    reference: Optional[np.ndarray] = None,
+) -> Tuple[bytes, np.ndarray]:
+    """Serialize and also return exactly what the receiver will decode.
+
+    Delta senders cache the *reconstruction* (not the raw vector) as the next
+    round's reference so both ends of the stream stay bit-identical — the
+    standard error-feedback discipline that stops quantization error from
+    accumulating across rounds.  A delta format without a ``reference`` (the
+    first message of a stream, or a stream restarted after a crash) degrades
+    to absolute encoding — the blob's own delta flag tells the receiver
+    which one it got.
+    """
+    fmt = parse_wire_format(fmt)
+    if fmt.delta and reference is None:
+        fmt = fmt.without_delta()
+    blob = serialize_vector(vector, fmt, reference)
+    return blob, deserialize_vector(blob, copy=True, reference=reference)
+
+
+# ---------------------------------------------------------------------- #
+# Deserialization
+# ---------------------------------------------------------------------- #
+def _decompress_payload(body: memoryview) -> Tuple[str, bytes]:
+    if len(body) < _COMPRESS_HEADER.size:
+        raise SerializationError("truncated compressed vector payload")
+    compressor_id, raw_length = _COMPRESS_HEADER.unpack_from(body, 0)
+    name = _COMPRESSOR_BY_ID.get(compressor_id)
+    if name is None:
+        raise SerializationError(f"unknown wire compressor id {compressor_id}")
+    packed = body[_COMPRESS_HEADER.size :]
+    if name == "zstd":
+        if not HAVE_ZSTD:
+            raise SerializationError(
+                "received a zstd-compressed vector but the 'zstandard' module "
+                "is not installed"
+            )
+        raw = _zstd.ZstdDecompressor().decompress(bytes(packed), max_output_size=raw_length)
+    else:
+        try:
+            inflater = zlib.decompressobj()
+            raw = inflater.decompress(bytes(packed))
+            raw += inflater.flush()
+        except zlib.error as exc:
+            raise SerializationError(f"corrupt compressed vector payload: {exc}") from exc
+        if not inflater.eof:
+            raise SerializationError("truncated compressed vector payload")
+        if inflater.unused_data:
+            raise SerializationError(
+                f"{len(inflater.unused_data)} trailing bytes after the "
+                "compressed vector payload"
+            )
+    if len(raw) != raw_length:
+        raise SerializationError(
+            f"compressed vector announced {raw_length} raw bytes, got {len(raw)}"
+        )
+    return name, raw
+
+
+def deserialize_vector(
+    blob: BytesLike,
+    copy: bool = False,
+    reference: Optional[np.ndarray] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Inverse of :func:`serialize_vector`.
 
-    By default the result is a **read-only view** into ``blob`` (which is
-    kept alive through the array's ``base``) — decoding a gradient touches no
-    element.  Pass ``copy=True`` for an owned, writable array; callers
-    decoding from a buffer that will be reused or mutated must do so.
+    By default the result of a float64/float32/float16 blob is a
+    **read-only** ``np.frombuffer`` view into ``blob`` (which is kept alive
+    through the array's ``base``) in the wire dtype — decoding touches no
+    element; consumers that assign the view into a float64 row (e.g.
+    :meth:`RoundBuffer.write_row <repro.network.transport.RoundBuffer.write_row>`)
+    widen in place with no intermediate array.  int8 blobs dequantize into
+    ``out`` when given, else into one fresh float64 array.
+
+    * ``copy=True`` — always return an owned, writable float64 array.
+    * ``reference`` — required for delta-encoded blobs: the same array the
+      sender encoded against; the result is ``reference + decoded_delta``.
+    * ``out`` — optional preallocated float64 destination (``out.size`` must
+      match); the decoded values are written into it and it is returned
+      (reshaped to the wire dims).  Implies an owned result.
+
+    All failures raise :class:`~repro.exceptions.SerializationError`,
+    including truncated bodies whose length is not a whole multiple of the
+    element width.
     """
     view = memoryview(blob)
-    if len(view) < len(_MAGIC) + _HEADER.size or not view[: len(_MAGIC)] == _MAGIC:
-        raise CommunicationError("malformed serialized vector (bad magic/header)")
+    prefix = len(_MAGIC) + 1 + _HEADER.size
+    if len(view) < prefix or not view[: len(_MAGIC)] == _MAGIC:
+        raise SerializationError("malformed serialized vector (bad magic/header)")
     offset = len(_MAGIC)
-    ndim, size = _HEADER.unpack_from(view, offset)
-    offset += _HEADER.size
-    dims = struct.unpack_from(f"<{ndim}q", view, offset) if ndim else ()
-    offset += 8 * ndim
-    expected_bytes = size * WIRE_BYTES_PER_ELEMENT
-    body = view[offset : offset + expected_bytes]
-    if len(body) != expected_bytes:
-        raise CommunicationError("truncated serialized vector")
-    array = np.frombuffer(body, dtype=np.float64)
-    if copy:
-        array = array.copy()
+    try:
+        fmt_value = view[offset]
+        offset += 1
+        ndim, size = _HEADER.unpack_from(view, offset)
+        offset += _HEADER.size
+        dims = struct.unpack_from(f"<{ndim}q", view, offset) if ndim else ()
+        offset += 8 * ndim
+    except struct.error as exc:
+        raise SerializationError(f"malformed serialized vector header: {exc}") from exc
+    if size < 0 or ndim > 32:
+        raise SerializationError("malformed serialized vector (bad header counts)")
+    fmt = format_from_byte(fmt_value & ~_FLAG_COMPRESSED)
+    compressed = bool(fmt_value & _FLAG_COMPRESSED)
+
+    body = view[offset:]
+    if compressed:
+        _, raw = _decompress_payload(body)
+        body = memoryview(raw)
+
+    if out is not None and (
+        out.dtype != np.float64 or out.size != size or not out.flags.c_contiguous
+    ):
+        raise SerializationError(
+            f"out buffer (dtype {out.dtype}, size {out.size}, contiguous "
+            f"{out.flags.c_contiguous}) does not fit a contiguous float64 "
+            f"vector of {size} elements"
+        )
+
+    wrote_out = False
+    if fmt.base == "int8":
+        expected = int8_payload_nbytes(size)
+        if len(body) != expected:
+            raise SerializationError(
+                f"truncated serialized vector ({len(body)} payload bytes, "
+                f"expected {expected})"
+            )
+        nchunks = _int8_nchunks(size)
+        scales = np.frombuffer(body, dtype="<f8", count=nchunks)
+        mids = np.frombuffer(body, dtype="<f8", count=nchunks, offset=8 * nchunks)
+        codes = np.frombuffer(body, dtype=np.uint8, count=size, offset=16 * nchunks)
+        if fmt.delta or out is None:
+            decoded: np.ndarray = _dequantize_int8(scales, mids, codes)
+        else:
+            # Dequantize straight into the caller's preallocated row — the
+            # RoundBuffer hand-off pays no intermediate array.
+            decoded = _dequantize_int8(scales, mids, codes, out=out.reshape(-1))
+            wrote_out = True
     else:
-        # frombuffer over an immutable blob is already read-only; over a
-        # writable one (bytearray scratch) force it, so no consumer can write
-        # through into a transport buffer.
-        array.setflags(write=False)
-    return array.reshape(dims) if dims else array
+        dtype = _BASES[fmt.base][1]
+        expected = size * dtype.itemsize
+        if len(body) != expected:
+            raise SerializationError(
+                f"truncated serialized vector ({len(body)} payload bytes, "
+                f"expected {expected} = {size} x {dtype.itemsize})"
+            )
+        decoded = np.frombuffer(body, dtype=dtype)
+        if not (copy or fmt.delta or out is not None):
+            # frombuffer over an immutable blob is already read-only; over a
+            # writable one force it, so no consumer can write through into a
+            # transport buffer.
+            decoded = decoded.view()
+            decoded.setflags(write=False)
+            return decoded.reshape(dims) if dims else decoded
+
+    if fmt.delta:
+        if reference is None:
+            raise SerializationError(
+                "blob is delta-encoded; deserialize_vector needs the reference "
+                "the sender encoded against"
+            )
+        ref = np.asarray(reference, dtype=np.float64).reshape(-1)
+        if ref.size != size:
+            raise SerializationError(
+                f"delta reference has {ref.size} elements, blob has {size}"
+            )
+        decoded = ref + np.asarray(decoded, dtype=np.float64)
+
+    if out is not None:
+        if not wrote_out:
+            np.copyto(out.reshape(-1), decoded, casting="unsafe")
+        return out.reshape(dims) if dims else out.reshape(-1)
+
+    result = np.asarray(decoded, dtype=np.float64)
+    if not result.flags.owndata:
+        result = result.copy()
+    return result.reshape(dims) if dims else result
 
 
-def serialized_nbytes(dimension: int, bytes_per_element: int | None = None) -> int:
-    """Wire size of a d-dimensional vector.
+# ---------------------------------------------------------------------- #
+# Size accounting
+# ---------------------------------------------------------------------- #
+def serialized_nbytes(
+    dimension: int,
+    bytes_per_element: Optional[int] = None,
+    fmt: Optional[FormatLike] = None,
+) -> int:
+    """Wire size of a serialized 1-D vector of ``dimension`` elements.
 
-    ``bytes_per_element`` defaults to :data:`WIRE_BYTES_PER_ELEMENT` (8 — the
-    float64 width this codec actually ships).  The paper's systems ship
-    float32 tensors, so the simulated cost model passes
-    :data:`PAPER_BYTES_PER_ELEMENT` (4) explicitly to stay calibrated to the
-    published figures; both accountings are exercised by the test suite.  The
-    constant header is negligible but included for accuracy.
+    With ``fmt`` the size is the exact framed length of
+    ``serialize_vector(np.zeros(dimension), fmt)`` for the uncompressed
+    formats (int8 includes its per-chunk scale/mid pairs); compressed formats
+    are charged at their uncompressed width, since the compressed length is
+    data-dependent.  Without ``fmt``, ``bytes_per_element`` scales the
+    payload directly — it defaults to :data:`WIRE_BYTES_PER_ELEMENT` (8, the
+    float64 passthrough); the simulated cost model's figure-calibration mode
+    passes :data:`PAPER_BYTES_PER_ELEMENT` (4) to stay aligned with the
+    published float32 numbers.  The constant header is included for accuracy.
     """
+    header = len(_MAGIC) + 1 + _HEADER.size + 8  # magic, format byte, counts, 1 dim
+    if fmt is not None:
+        fmt = parse_wire_format(fmt)
+        if fmt.base == "int8":
+            return header + int8_payload_nbytes(dimension)
+        return header + dimension * fmt.bytes_per_element
     if bytes_per_element is None:
         bytes_per_element = WIRE_BYTES_PER_ELEMENT
-    return len(_MAGIC) + _HEADER.size + 8 + dimension * bytes_per_element
+    return header + dimension * bytes_per_element

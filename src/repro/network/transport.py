@@ -38,6 +38,7 @@ bit-identical replies for a fixed seed.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -47,7 +48,14 @@ import numpy as np
 from repro.exceptions import CommunicationError, NodeCrashedError, TimeoutError
 from repro.network.failures import FailureInjector
 from repro.network.message import Reply, RequestContext
-from repro.network.serialization import serialized_nbytes
+from repro.network.serialization import (
+    FormatLike,
+    deserialize_vector,
+    parse_wire_format,
+    serialize_vector,
+    serialize_with_reconstruction,
+    serialized_nbytes,
+)
 from repro.utils import make_rng
 
 Handler = Callable[[RequestContext], Any]
@@ -114,16 +122,67 @@ class TransportBackend:
 
 class InProcessBackend(TransportBackend):
     """Default delivery: handlers are closures invoked on the calling thread
-    (or an executor pool thread during a fan-out)."""
+    (or an executor pool thread during a fan-out).
+
+    With a non-default ``wire_format`` every handler result is round-tripped
+    through the real codec — exactly the quantize/encode/decode the socket
+    backend's hello would negotiate — so serial/threaded runs observe the
+    same reduced-precision payloads as a process deployment, and goldens can
+    lock each format without sockets.  The plain-float64 default skips the
+    emulation entirely (bit-exact passthrough, zero overhead), which is what
+    keeps the seed traces byte-identical.
+    """
 
     name = "inprocess"
     needs_state_sync = False
+
+    def __init__(self, wire_format: FormatLike = "float64") -> None:
+        super().__init__()
+        self.wire_format = parse_wire_format(wire_format)
+        #: Per-stream reconstructions for delta emulation, keyed by
+        #: ``(requester, node_id, kind)`` — mirrors the socket backend's
+        #: sender/receiver caches collapsed into one (same process).
+        self._delta_refs: Dict[Tuple[str, str, str], np.ndarray] = {}
+        self._delta_lock = threading.Lock()
+
+    def _roundtrip(self, value: Any) -> Any:
+        """Codec round trip of one result tree (non-delta formats)."""
+        if isinstance(value, np.ndarray):
+            fmt = self.wire_format.without_delta()
+            return deserialize_vector(serialize_vector(value, fmt), copy=True)
+        if isinstance(value, list):
+            return [self._roundtrip(item) for item in value]
+        if isinstance(value, tuple):
+            return tuple(self._roundtrip(item) for item in value)
+        if isinstance(value, dict):
+            return {key: self._roundtrip(item) for key, item in value.items()}
+        return value
 
     def invoke(self, node_id: str, kind: str, context: RequestContext) -> Any:
         handler = self._handlers.get((node_id, kind))
         if handler is None:
             raise CommunicationError(f"node '{node_id}' serves no '{kind}' requests")
-        return handler(context)
+        result = handler(context)
+        if self.wire_format.is_plain_float64:
+            return result
+        if (
+            self.wire_format.delta
+            and isinstance(result, np.ndarray)
+            and result.dtype == np.float64
+            and result.ndim == 1
+        ):
+            key = (context.requester, node_id, kind)
+            with self._delta_lock:
+                reference = self._delta_refs.get(key)
+            if reference is not None and reference.size != result.size:
+                reference = None  # model dimension changed: restart the stream
+            _, reconstruction = serialize_with_reconstruction(
+                result, self.wire_format, reference=reference
+            )
+            with self._delta_lock:
+                self._delta_refs[key] = reconstruction
+            return reconstruction
+        return self._roundtrip(result)
 
 
 @dataclass
@@ -300,6 +359,7 @@ class Transport:
         executor: Optional["Executor"] = None,
         wall_time_scale: float = 0.0,
         backend: Optional[TransportBackend] = None,
+        wire_format: FormatLike = "float64",
     ) -> None:
         # Imported lazily: repro.core.__init__ pulls in modules that import
         # this one, so a module-level import would be circular.
@@ -315,7 +375,8 @@ class Transport:
         self.failures = failures or FailureInjector(seed=seed)
         self.stats = TransportStats()
         self.executor = executor or SerialExecutor()
-        self.backend = backend or InProcessBackend()
+        self.wire_format = parse_wire_format(wire_format)
+        self.backend = backend or InProcessBackend(wire_format=self.wire_format)
         self.wall_time_scale = wall_time_scale
         self._rng = make_rng(seed)
         self._nodes: Dict[str, object] = {}
@@ -379,7 +440,12 @@ class Transport:
         if payload is None:
             return 64  # a bare header / control message
         if isinstance(payload, np.ndarray):
-            return serialized_nbytes(payload.size, self.link.bytes_per_element)
+            # Default format: the paper-calibrated per-element width of the
+            # link model (float32, matching the published figures).  Any
+            # negotiated format is charged its exact framed size instead.
+            if self.wire_format.is_plain_float64:
+                return serialized_nbytes(payload.size, self.link.bytes_per_element)
+            return serialized_nbytes(payload.size, fmt=self.wire_format)
         if isinstance(payload, (bytes, bytearray)):
             return len(payload)
         if isinstance(payload, (list, tuple)):

@@ -47,6 +47,13 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             ClusterConfig(deployment="msmw", num_servers=1)
 
+    def test_wire_format_validated(self):
+        assert ClusterConfig(wire_format="int8+delta+zlib").wire_format == "int8+delta+zlib"
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(wire_format="float128")
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(wire_format="int8+brotli")
+
     def test_gar_resilience_enforced(self):
         # Multi-Krum needs n >= 2f + 3; 5 workers cannot tolerate 2 Byzantine.
         with pytest.raises(ConfigurationError):

@@ -183,3 +183,55 @@ class TestThreadSafety:
         # Writers finished their cycles: the injector ends in a clean state.
         assert not any(injector.is_crashed(node) for node in nodes)
         assert injector.partition_islands() == []
+
+
+class TestMidRoundDropRateDeterminism:
+    """The satellite bugfix: changing the drop rate mid-round rewinds the
+    drop RNG to its pristine state, so the drop pattern after a rate change
+    is a pure function of (seed, rate, draws-since-change) — identical no
+    matter how many draws happened before, or on which thread."""
+
+    def _pattern_after_change(self, draws_before: int, rate: float = 0.3, n: int = 40):
+        injector = FailureInjector(seed=11, drop_probability=0.8)
+        for _ in range(draws_before):
+            injector.should_drop()
+        injector.set_drop_rate(rate)
+        return [injector.should_drop() for _ in range(n)]
+
+    def test_pattern_is_independent_of_prior_consumption(self):
+        reference = self._pattern_after_change(draws_before=0)
+        for draws_before in (1, 7, 100):
+            assert self._pattern_after_change(draws_before) == reference
+
+    def test_setting_the_same_rate_does_not_rewind(self):
+        """A no-op rate change must not restart the stream mid-round."""
+        injector = FailureInjector(seed=11, drop_probability=0.3)
+        first = [injector.should_drop() for _ in range(10)]
+        injector.set_drop_rate(0.3)
+        rest = [injector.should_drop() for _ in range(10)]
+        replay = FailureInjector(seed=11, drop_probability=0.3)
+        assert [replay.should_drop() for _ in range(20)] == first + rest
+
+    def test_serial_and_threaded_consumption_agree(self):
+        """A threaded run draws the same stream as a serial one: the rewind
+        plus the RLock make the pattern depend only on draw order, and with a
+        single drawing thread at a time the order is the draw count."""
+        serial = self._pattern_after_change(draws_before=5, rate=0.4, n=60)
+
+        injector = FailureInjector(seed=11, drop_probability=0.8)
+        for _ in range(5):
+            injector.should_drop()
+        injector.set_drop_rate(0.4)
+        threaded: list = []
+        lock = threading.Lock()
+
+        def draw(count: int):
+            for _ in range(count):
+                with lock:  # one drawer at a time: fixed draw order
+                    threaded.append(injector.should_drop())
+
+        workers = [threading.Thread(target=draw, args=(20,)) for _ in range(3)]
+        for thread in workers:
+            thread.start()
+            thread.join()  # join immediately: deterministic interleaving
+        assert threaded == serial

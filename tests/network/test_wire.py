@@ -15,16 +15,24 @@ import threading
 import numpy as np
 import pytest
 
-from repro.exceptions import CommunicationError
+from repro.exceptions import CommunicationError, SerializationError
 from repro.network import wire
+from repro.network.serialization import (
+    deserialize_vector,
+    parse_wire_format,
+    serialize_vector,
+)
 from repro.network.wire import (
     ConnectionClosed,
+    client_hello,
     decode_value,
     encode_value,
+    negotiate_wire_format,
     recv_frame,
     recv_message,
     send_frame,
     send_message,
+    server_hello,
 )
 
 
@@ -228,3 +236,113 @@ class TestFraming:
         assert received["op"] == "pull"
         assert received["iteration"] == 12
         assert np.array_equal(received["payload"], message["payload"])
+
+
+# ---------------------------------------------------------------------- #
+# Truncated vector bodies (the satellite bugfix: typed errors, not ValueError)
+# ---------------------------------------------------------------------- #
+class TestTruncatedVectorBodies:
+    """Every malformed body must raise SerializationError — the typed codec
+    failure — never a bare ValueError out of numpy's frombuffer."""
+
+    FORMATS = ["float64", "float32", "float16", "int8", "float32+zlib"]
+
+    @pytest.mark.parametrize("spec", FORMATS)
+    def test_off_by_one_byte_short(self, spec):
+        blob = serialize_vector(np.linspace(0, 1, 100), spec)
+        with pytest.raises(SerializationError):
+            deserialize_vector(blob[:-1])
+
+    @pytest.mark.parametrize("spec", FORMATS)
+    def test_off_by_one_byte_long(self, spec):
+        blob = serialize_vector(np.linspace(0, 1, 100), spec)
+        with pytest.raises(SerializationError):
+            deserialize_vector(blob + b"\x00")
+
+    @pytest.mark.parametrize("spec", ["float64", "float32", "float16", "int8"])
+    def test_empty_body_with_nonempty_header(self, spec):
+        """A header announcing 100 elements over zero payload bytes."""
+        blob = serialize_vector(np.linspace(0, 1, 100), spec)
+        fmt = parse_wire_format(spec)
+        header_len = len(blob) - (
+            100 * fmt.bytes_per_element + (16 if fmt.base == "int8" else 0)
+        )
+        with pytest.raises(SerializationError, match="truncated"):
+            deserialize_vector(blob[:header_len])
+
+    def test_non_multiple_of_element_width(self):
+        """A float64 body of 37 bytes is not a whole number of elements."""
+        blob = serialize_vector(np.linspace(0, 1, 100))
+        with pytest.raises(SerializationError, match="truncated"):
+            deserialize_vector(blob[: len(blob) - 800 + 37])
+
+    def test_empty_blob(self):
+        with pytest.raises(SerializationError):
+            deserialize_vector(b"")
+
+    def test_serialization_error_is_a_communication_error(self):
+        """Callers catching the transport's CommunicationError keep working."""
+        assert issubclass(SerializationError, CommunicationError)
+
+
+# ---------------------------------------------------------------------- #
+# Wire-format negotiation (the hello exchange)
+# ---------------------------------------------------------------------- #
+class TestHandshake:
+    @pytest.mark.parametrize(
+        "spec", ["float64", "float32", "float16+delta", "int8+zlib", "int8+delta+zlib"]
+    )
+    def test_hello_round_trip(self, sock_pair, spec):
+        left, right = sock_pair
+        requested = parse_wire_format(spec)
+        accepted = {}
+
+        def serve():
+            accepted["server"] = server_hello(right)
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        try:
+            accepted["client"] = client_hello(left, requested)
+        finally:
+            thread.join()
+        assert accepted["client"] == accepted["server"]
+        assert accepted["client"] == negotiate_wire_format(requested)
+
+    def test_zstd_downgrades_when_unavailable(self):
+        from repro.network.serialization import HAVE_ZSTD
+
+        accepted = negotiate_wire_format(parse_wire_format("int8+zstd"))
+        if HAVE_ZSTD:
+            assert accepted.compression == "zstd"
+        else:
+            assert accepted.compression == ""
+            assert accepted.base == "int8"
+
+    def test_server_rejects_garbage_hello(self, sock_pair):
+        left, right = sock_pair
+        send_frame(left, b"\x00" * wire._HELLO.size)  # framed, but no magic
+        with pytest.raises(CommunicationError, match="hello"):
+            server_hello(right)
+
+    def test_client_rejects_version_mismatch(self, sock_pair):
+        left, right = sock_pair
+        rogue = wire._HELLO.pack(
+            wire.HELLO_MAGIC, wire.WIRE_PROTOCOL_VERSION + 1, 0, 0
+        )
+        send_frame(left, rogue)
+
+        def consume():
+            try:
+                recv_frame(left)
+            except (CommunicationError, OSError):
+                pass
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        try:
+            with pytest.raises(CommunicationError, match="version"):
+                client_hello(right, parse_wire_format("float64"))
+        finally:
+            left.close()
+            thread.join()

@@ -92,6 +92,26 @@ class TestRunCommand:
         assert "ssmw: final accuracy" in out
         assert "per-iteration time" in out
 
+    def test_run_with_negotiated_wire_format(self, capsys):
+        code = main(
+            [
+                "run",
+                "--workers", "4",
+                "--dataset-size", "100",
+                "--batch-size", "8",
+                "--iterations", "3",
+                "--wire-format", "int8+delta",
+            ]
+        )
+        assert code == 0
+        assert "final accuracy" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_wire_format(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "--workers", "4", "--iterations", "1", "--wire-format", "float128"])
+
     def test_run_writes_json_output(self, tmp_path, capsys):
         output = tmp_path / "result.json"
         code = main(
