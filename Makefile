@@ -4,6 +4,8 @@
 #   make test-session   — streaming Session API suite (pause/resume identity,
 #                         until/early-stop, callbacks, registry, shims)
 #   make test-scenarios — golden-trace regression suite for the chaos scenarios
+#   make test-detection — online Byzantine-detection surface: detectors,
+#                         reputation book, eviction lifecycle, fuzz invariants
 #   make test-backends  — transport conformance + golden equivalence across the
 #                         serial / threaded / process backends
 #   make update-golden  — explicitly re-bless the golden scenario traces
@@ -13,6 +15,9 @@
 #   make bench-wire     — negotiated wire formats: bytes on the wire, decode
 #                         throughput and an attack x GAR robustness sweep;
 #                         writes BENCH_wire.json and checks the byte ratios
+#   make bench-detection— online detection: attack x GAR grid with detection
+#                         off/on, per-detector time-to-evict, async quorum-
+#                         shrink gain; writes BENCH_detection.json
 #   make bench          — the full figure-reproduction benchmark suite (minutes)
 #   make fuzz-smoke     — tier-1 scenario-fuzzing smoke: fixed seeds, dozens of
 #                         generated scenarios, every invariant checked
@@ -24,7 +29,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-session test-scenarios test-backends update-golden bench-smoke bench-hotpath bench-wire bench fuzz-smoke fuzz docs-check quickstart
+.PHONY: test test-session test-scenarios test-detection test-backends update-golden bench-smoke bench-hotpath bench-wire bench-detection bench fuzz-smoke fuzz docs-check quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +39,9 @@ test-session:
 
 test-scenarios:
 	$(PYTHON) -m pytest tests/integration/test_scenarios_golden.py -q
+
+test-detection:
+	$(PYTHON) -m pytest -m detection -q
 
 test-backends:
 	$(PYTHON) -m pytest tests/network/test_wire.py tests/network/test_rpc_conformance.py \
@@ -50,6 +58,9 @@ bench-hotpath:
 
 bench-wire:
 	$(PYTHON) benchmarks/bench_wire.py
+
+bench-detection:
+	$(PYTHON) benchmarks/bench_detection.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s

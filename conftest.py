@@ -47,6 +47,11 @@ def pytest_configure(config) -> None:
         "fuzz: generative scenario-fuzzing test (seeded ScenarioGenerator + "
         "invariant checker; filter with -m fuzz, see docs/fuzzing.md)",
     )
+    config.addinivalue_line(
+        "markers",
+        "detection: online Byzantine-detection test (detectors, reputation, "
+        "eviction lifecycle; filter with -m detection, see docs/detection.md)",
+    )
 
 
 def pytest_collection_modifyitems(config, items) -> None:

@@ -36,6 +36,7 @@ DOCUMENTS = (
     "docs/scenarios.md",
     "docs/fuzzing.md",
     "docs/performance.md",
+    "docs/detection.md",
 )
 
 #: Top-level directories a backtick path may point into (plus lone files).

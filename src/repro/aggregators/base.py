@@ -57,6 +57,23 @@ def as_matrix(vectors) -> np.ndarray:
     return np.stack(rows, axis=0)
 
 
+def scale_rows(matrix, weights) -> np.ndarray:
+    """Fresh ``(q, d)`` matrix with row ``i`` scaled by ``weights[i]``.
+
+    The row-weighting primitive behind reputation-weighted aggregation
+    (:mod:`repro.detection`): the input — typically a read-only round-buffer
+    view — is never written through; the result is always a new array the
+    caller owns.  Raises :class:`AggregationError` on a length mismatch.
+    """
+    grid = as_matrix(matrix)
+    scale = np.asarray(weights, dtype=np.float64).ravel()
+    if scale.size != grid.shape[0]:
+        raise AggregationError(
+            f"got {scale.size} row weights for a matrix with {grid.shape[0]} rows"
+        )
+    return grid * scale[:, None]
+
+
 class GAR:
     """Base class for all gradient aggregation rules.
 

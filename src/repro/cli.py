@@ -34,6 +34,7 @@ from repro.core.cluster import ClusterConfig
 from repro.core.executor import available_executors
 from repro.core.scenario import SCENARIO_LIBRARY, available_scenarios, config_for_scenario
 from repro.core.session import Session, available_applications
+from repro.detection import available_detectors
 from repro.network.topology import DEPLOYMENTS
 from repro.nn.models import MODEL_REGISTRY, PAPER_MODEL_DIMENSIONS
 from repro.version import __version__
@@ -89,6 +90,16 @@ def build_parser() -> argparse.ArgumentParser:
             "payload encoding negotiated between nodes: base[+delta][+zlib|+zstd] "
             "with base float64 (bit-exact default), float32, float16 or int8 "
             "(quantized); e.g. 'float16' or 'int8+delta+zlib'"
+        ),
+    )
+    run_parser.add_argument(
+        "--detector",
+        default="",
+        help=(
+            "online Byzantine detection: name of a registered detector "
+            "(distance, mad, variance) scoring workers each round, weighting "
+            "their gradients by reputation and evicting persistent outliers; "
+            "empty (default) disables detection entirely"
         ),
     )
     run_parser.add_argument("--asynchronous", action="store_true")
@@ -209,6 +220,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("GARs        :", ", ".join(available_gars()))
     print("attacks     :", ", ".join(available_attacks()))
     print("models      :", ", ".join(sorted(MODEL_REGISTRY)))
+    print("detectors   :", ", ".join(available_detectors()))
     print("scenarios   :", ", ".join(available_scenarios()))
     return 0
 
@@ -266,6 +278,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         non_iid=args.non_iid,
         executor=args.executor,
         wire_format=args.wire_format,
+        detector=args.detector,
         seed=args.seed,
     )
     if args.scenario:

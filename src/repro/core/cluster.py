@@ -79,6 +79,12 @@ class ClusterConfig:
     #: When set, the Controller attaches a ScenarioDirector and a Trace
     #: recorder to the deployment.
     scenario: str = ""
+    #: Online Byzantine detection: name of a registered detector (see
+    #: :mod:`repro.detection`) or empty for none (the default — detection is
+    #: strictly opt-in, so traces and goldens are unchanged without it).
+    #: Only deployments using the default scatter/aggregate round phases
+    #: (ssmw, aggregathor and compatible third-party strategies) support it.
+    detector: str = ""
     #: Negotiated wire format for gradient/model payloads:
     #: ``"base[+delta][+zlib|+zstd]"`` with base one of ``float64`` (the
     #: bit-exact default), ``float32``, ``float16`` or ``int8`` (per-chunk
@@ -133,6 +139,22 @@ class ClusterConfig:
         # Fail at validation time, not mid-round: unknown tokens and
         # unavailable compressors (+zstd without the module) are both errors.
         parse_wire_format(self.wire_format, require_available=True)
+        if self.detector:
+            # Imported lazily so parsing detector-less configs stays light.
+            from repro.detection.base import DETECTOR_REGISTRY, _ensure_builtin_detectors, normalize_detector_name
+
+            _ensure_builtin_detectors()
+            if normalize_detector_name(self.detector) not in DETECTOR_REGISTRY:
+                raise ConfigurationError(
+                    f"unknown detector '{self.detector}'; "
+                    f"choose from {sorted(DETECTOR_REGISTRY)}"
+                )
+            if self.deployment in ("vanilla", "msmw", "decentralized", "crash-tolerant"):
+                raise ConfigurationError(
+                    f"detector '{self.detector}' requires the default round "
+                    f"phases; deployment '{self.deployment}' overrides them "
+                    "(supported: ssmw, aggregathor)"
+                )
         if self.gradient_gar not in GAR_REGISTRY:
             raise ConfigurationError(f"unknown gradient GAR '{self.gradient_gar}'")
         if self.model_gar not in GAR_REGISTRY:

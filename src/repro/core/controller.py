@@ -26,6 +26,7 @@ from repro.core.scenario import ScenarioDirector, load_scenario
 from repro.core.server import Server
 from repro.core.worker import Worker
 from repro.datasets.partition import partition_dataset
+from repro.detection.manager import DetectionManager
 from repro.datasets.synthetic import Dataset
 from repro.exceptions import ConfigurationError
 from repro.network.cost import DEVICES, FRAMEWORKS, CostModel
@@ -51,6 +52,9 @@ class Deployment:
     #: Chaos-scenario machinery, attached when the config names a scenario.
     director: Optional[ScenarioDirector] = None
     trace: Optional[Trace] = None
+    #: Online Byzantine detection state, attached when the config names a
+    #: detector (``None`` otherwise — the default round phases check this).
+    detection: Optional["DetectionManager"] = None
 
     @property
     def executor(self) -> Executor:
@@ -253,6 +257,14 @@ class Controller:
             cost_model=cost_model,
             metrics=metrics,
         )
+        if config.detector:
+            deployment.detection = DetectionManager(
+                detector=config.detector,
+                roster=[worker.node_id for worker in workers],
+                declared_f=config.num_byzantine_workers,
+                gar_name=config.gradient_gar,
+                asynchronous=config.asynchronous,
+            )
         if config.scenario:
             spec = load_scenario(config.scenario)
             deployment.trace = Trace(

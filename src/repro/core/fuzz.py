@@ -83,6 +83,9 @@ INVARIANTS = (
     "loud-at-overbudget",
     "determinism",
     "pause-resume",
+    "no-calm-eviction",
+    "attacker-reputation",
+    "eviction-budget",
 )
 
 #: Small logistic/MNIST experiment shared by every generated case: one round
@@ -449,6 +452,12 @@ class RunOutcome:
     norms: List[Optional[float]] = field(default_factory=list)
     flagged_rounds: List[int] = field(default_factory=list)
     losses: List[Tuple[int, float]] = field(default_factory=list)
+    #: Per-round detection payloads (``RoundResult.detection``); empty when
+    #: the spec runs without a detector.
+    detections: List[Optional[Dict[str, Any]]] = field(default_factory=list)
+    #: Final membership / decayed suspicion, captured before session close.
+    final_evicted: List[str] = field(default_factory=list)
+    final_suspicion: Dict[str, float] = field(default_factory=dict)
 
     @property
     def first_loss(self) -> Optional[float]:
@@ -475,6 +484,7 @@ def run_spec(
         outcome.rounds_run += 1
         outcome.quorums.append(result.quorum)
         outcome.norms.append(result.update_norm)
+        outcome.detections.append(result.detection)
         if result.diverged:
             outcome.flagged_rounds.append(result.iteration)
         if result.loss is not None:
@@ -494,6 +504,12 @@ def run_spec(
         outcome.diverged = session.diverged
         if session.trace is not None:
             outcome.trace_json = session.trace.to_json()
+        detection = session.deployment.detection
+        if detection is not None:
+            outcome.final_evicted = list(detection.book.evicted)
+            outcome.final_suspicion = {
+                name: float(score) for name, score in detection.book.scores.items()
+            }
         session.close()
     return outcome
 
@@ -572,6 +588,11 @@ GarfieldError` or an explicit divergence flag — never a silent completion;
     * any exception is a :class:`~repro.exceptions.GarfieldError` (and not a
       :class:`~repro.exceptions.ConfigurationError`, which would mean the
       generator emitted an invalid spec);
+    * when the spec enables online detection: evictions never exceed the
+      declared Byzantine budget (none at all with ``f = 0``), attack-free
+      evictions decay toward re-admission, and a steady flagrant attack
+      within budget leaves every attacker's suspicion strictly above every
+      honest worker's;
     * optionally: a rerun (serial), a threaded run and a paused/resumed run
       all produce byte-identical canonical trace JSON.
     """
@@ -603,6 +624,7 @@ GarfieldError` or an explicit divergence flag — never a silent completion;
         if outcome.trace_json:
             report.fingerprint = Trace.from_dict(json.loads(outcome.trace_json)).fingerprint()
         self._check_rounds(case, outcome, report)
+        self._check_detection(case, outcome, report)
         self._check_outcome(case, outcome, report)
         if determinism or cross_executor or pause_resume:
             self._check_replays(
@@ -617,9 +639,10 @@ GarfieldError` or an explicit divergence flag — never a silent completion;
 
     # ------------------------------------------------------------------ #
     def _check_rounds(self, case: FuzzCase, outcome: RunOutcome, report: CaseReport) -> None:
-        expected = ClusterConfig.from_dict(dict(case.spec.config)).gradient_quorum()
+        expected_quorums = self._expected_quorums(case, outcome)
         flagged = set(outcome.flagged_rounds)
         for index, quorum in enumerate(outcome.quorums):
+            expected = expected_quorums[index]
             if quorum != expected:
                 report.violations.append(
                     InvariantViolation(
@@ -656,6 +679,121 @@ GarfieldError` or an explicit divergence flag — never a silent completion;
                     )
                 )
                 break
+
+    def _expected_quorums(self, case: FuzzCase, outcome: RunOutcome) -> List[int]:
+        """Per-round expected gradient quorums, membership-aware.
+
+        Without a detector every round must use
+        :meth:`~repro.core.cluster.ClusterConfig.gradient_quorum` exactly.
+        With one, evictions legitimately shrink the pull set: round ``r``
+        waits for the quorum implied by the membership *after* round
+        ``r - 1``'s decisions, which this replays from the recorded
+        membership events.  (Asynchronous deployments keep the *declared*
+        budget as reply slack — ``active - f`` — so each eviction shrinks
+        the wait quorum by exactly one; see
+        :meth:`repro.detection.manager.DetectionManager.pull_quorum`.)
+        """
+        config = ClusterConfig.from_dict(dict(case.spec.config))
+        static = config.gradient_quorum()
+        if not dict(case.spec.config).get("detector"):
+            return [static] * len(outcome.quorums)
+        active = int(config.num_workers)
+        declared_f = int(config.num_byzantine_workers)
+
+        def quorum_now() -> int:
+            if config.asynchronous:
+                return max(1, active - declared_f)
+            return active
+
+        expected: List[int] = []
+        for detection in outcome.detections:
+            expected.append(quorum_now())
+            for event in (detection or {}).get("events", ()):
+                if event["action"] == "evict":
+                    active -= 1
+                elif event["action"] == "readmit":
+                    active += 1
+        # Rounds past the last recorded detection payload (if any) keep the
+        # final membership's quorum.
+        while len(expected) < len(outcome.quorums):
+            expected.append(quorum_now())
+        return expected
+
+    def _check_detection(self, case: FuzzCase, outcome: RunOutcome, report: CaseReport) -> None:
+        """Detector-specific invariants; active only when the spec has one.
+
+        * **eviction-budget** — at most ``f`` workers are ever evicted at
+          once: only ``f`` can actually be Byzantine, so an (f+1)-th
+          eviction would provably hit an honest worker.  With ``f == 0``
+          this means no eviction ever (and the envelope normalisation makes
+          every suspicion score identically zero).
+        * **no-calm-eviction** — in a run with no attacking workers, any
+          eviction (possible under a non-zero declared budget: a tiny
+          heterogeneous shard is statistically indistinguishable from a
+          moderate attacker) is *not permanent*: the evicted worker's
+          suspicion decays monotonically toward the re-admission bar.
+        * **attacker-reputation** — under a steady flagrant attack within
+          budget (reversed / random, no mid-run attack toggles), every
+          attacker's final decayed suspicion must exceed every honest
+          worker's: reputation separates the populations.
+        """
+        spec_config = dict(case.spec.config)
+        if not spec_config.get("detector") or not outcome.final_suspicion:
+            return
+        attackers = set(byzantine_ids_for_config(spec_config))
+        attacking = int(spec_config.get("num_attacking_workers", 0))
+        declared_f = int(spec_config.get("num_byzantine_workers", 0))
+        if len(outcome.final_evicted) > declared_f:
+            report.violations.append(
+                InvariantViolation(
+                    "eviction-budget",
+                    f"{len(outcome.final_evicted)} workers evicted "
+                    f"({outcome.final_evicted}) exceeds the declared budget f={declared_f}",
+                )
+            )
+        if attacking == 0:
+            eviction_scores: Dict[str, float] = {}
+            for detection in outcome.detections:
+                for event in (detection or {}).get("events", ()):
+                    if event["action"] == "evict":
+                        eviction_scores[event["target"]] = float(event["score"])
+            for name in outcome.final_evicted:
+                final = outcome.final_suspicion.get(name, 0.0)
+                at_eviction = eviction_scores.get(name)
+                if at_eviction is not None and final > at_eviction + 1e-9:
+                    report.violations.append(
+                        InvariantViolation(
+                            "no-calm-eviction",
+                            f"attack-free run left '{name}' evicted with suspicion "
+                            f"{final:.3f} above its eviction score {at_eviction:.3f} — "
+                            "not decaying toward re-admission",
+                        )
+                    )
+            return
+        steady = not any(
+            event.action in ("attack_start", "attack_stop", "byzantine_count")
+            for event in case.spec.events
+        )
+        flagrant = spec_config.get("worker_attack") in ("reversed", "random")
+        if not (steady and flagrant):
+            return
+        honest_max = max(
+            (score for name, score in outcome.final_suspicion.items() if name not in attackers),
+            default=0.0,
+        )
+        attacker_min = min(
+            (score for name, score in outcome.final_suspicion.items() if name in attackers),
+            default=float("inf"),
+        )
+        if attacker_min <= honest_max:
+            report.violations.append(
+                InvariantViolation(
+                    "attacker-reputation",
+                    f"steady {spec_config.get('worker_attack')} attack ended with attacker "
+                    f"suspicion floor {attacker_min:.3f} at or below honest ceiling "
+                    f"{honest_max:.3f} ({outcome.final_suspicion})",
+                )
+            )
 
     def _check_outcome(self, case: FuzzCase, outcome: RunOutcome, report: CaseReport) -> None:
         error = outcome.error

@@ -170,6 +170,35 @@ class Trace:
         entry["diverged"] = True
         return entry
 
+    def record_detection(
+        self,
+        round_index: int,
+        *,
+        suspicion: Optional[Dict[str, float]] = None,
+        active: Sequence[str] = (),
+        events: Sequence[Dict[str, Any]] = (),
+    ) -> Dict[str, Any]:
+        """Attach one round's detection outcome to its entry.
+
+        Like :meth:`mark_diverged`, the ``"detection"`` key is *only* present
+        on rounds a detector actually scored, so traces of detector-less runs
+        — including every pre-detection golden — stay byte-identical.
+        Suspicion scores are recorded per worker (pre-rounded floats),
+        ``active`` is the post-decision membership, ``events`` the round's
+        evict/re-admit decisions in compact dict form.
+        """
+        entry = next(
+            (r for r in reversed(self.rounds) if r["round"] == int(round_index)), None
+        )
+        if entry is None:
+            entry = self.begin_round(round_index)
+        entry["detection"] = {
+            "suspicion": {str(k): float(v) for k, v in (suspicion or {}).items()},
+            "active": [str(name) for name in active],
+            "events": [dict(event) for event in events],
+        }
+        return entry
+
     @property
     def diverged(self) -> bool:
         """Whether any round of this trace carries the divergence flag."""

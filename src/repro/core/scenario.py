@@ -9,7 +9,8 @@ makes those regimes first-class, reproducible workloads:
 * :class:`ScenarioSpec` — a validated, JSON-serializable description of a
   timeline of :class:`ScenarioEvent`\\ s (``crash``, ``recover``,
   ``straggler``, ``clear_straggler``, ``drop_rate``, ``partition``, ``heal``,
-  ``attack_start``, ``attack_stop``, ``byzantine_count``), plus the
+  ``attack_start``, ``attack_stop``, ``byzantine_count``, and — for
+  detector-enabled deployments — ``evict`` / ``readmit``), plus the
   :class:`~repro.core.cluster.ClusterConfig` overrides the scenario expects.
 * :class:`ScenarioDirector` — applies the events scheduled for a round at the
   round boundary by driving the deployment's
@@ -20,9 +21,10 @@ makes those regimes first-class, reproducible workloads:
   round's :class:`~repro.core.metrics.Trace` entry.
 * :data:`SCENARIO_LIBRARY` — the bundled named scenarios
   (``calm_baseline``, ``crash_quorum_edge``, ``attack_onset_mid_training``,
-  ``straggler_storm``, ``partition_heal``, ``churn_at_f_bound``) that the CLI
-  exposes via ``repro run --scenario <name>`` and the golden-trace regression
-  suite locks down.
+  ``straggler_storm``, ``partition_heal``, ``churn_at_f_bound``,
+  ``detection_evicts_attackers``) that the CLI exposes via
+  ``repro run --scenario <name>`` and the golden-trace regression suite locks
+  down.
 
 Determinism: the director runs on the driving thread at round boundaries,
 before any RPC of that round is planned; everything stochastic it introduces
@@ -55,11 +57,19 @@ ACTIONS = frozenset(
         "attack_start",
         "attack_stop",
         "byzantine_count",
+        "evict",
+        "readmit",
     }
 )
 
 #: Actions that must name a target node.
-TARGETED_ACTIONS = frozenset({"crash", "recover", "straggler", "clear_straggler"})
+TARGETED_ACTIONS = frozenset(
+    {"crash", "recover", "straggler", "clear_straggler", "evict", "readmit"}
+)
+
+#: Actions that require a detection manager on the deployment (they drive the
+#: reputation book's membership state, which only exists for detector runs).
+DETECTION_ACTIONS = frozenset({"evict", "readmit"})
 
 #: Actions that must carry a value.
 VALUED_ACTIONS = frozenset({"straggler", "drop_rate", "partition", "byzantine_count"})
@@ -357,6 +367,28 @@ class ScenarioDirector:
             byzantine_ids=self._byzantine_ids(),
             max_byzantine_count=len(self.byzantine_workers),
         )
+        # Membership events need the detection manager (and a worker target).
+        # Statefulness (evicting an already-evicted worker) is deliberately
+        # *not* checked here: detector-driven transitions interleave with the
+        # forced ones, so the timeline cannot be replayed statically — the
+        # manager treats redundant forced transitions as no-ops instead.
+        detection_events = [
+            event for event in self.spec.events if event.action in DETECTION_ACTIONS
+        ]
+        if detection_events:
+            detection = getattr(self.deployment, "detection", None)
+            if detection is None:
+                raise ConfigurationError(
+                    f"scenario '{self.spec.name}' uses evict/readmit events but "
+                    "the deployment has no detector (set ClusterConfig.detector)"
+                )
+            roster = set(detection.roster)
+            for event in detection_events:
+                if event.target not in roster:
+                    raise ConfigurationError(
+                        f"'{event.action}' target '{event.target}' is not a "
+                        "worker in the detection roster"
+                    )
 
     # ------------------------------------------------------------------ #
     def apply(self, round_index: int) -> List[Dict[str, Any]]:
@@ -406,6 +438,13 @@ class ScenarioDirector:
                 active = index < event.value
                 worker.attack_active = active
                 self._backend.apply_control(worker.node_id, "set_attack", active=active)
+        elif action == "evict":
+            # Validated at construction: detection is present.  The manager
+            # honours the quorum-safety guard, so a forced eviction that
+            # would starve the GAR degrades to down-weighting.
+            self.deployment.detection.force_evict(event.round, event.target)
+        elif action == "readmit":
+            self.deployment.detection.force_readmit(event.round, event.target)
         else:  # pragma: no cover - unreachable, ACTIONS is validated upstream
             raise ConfigurationError(f"unhandled scenario action '{action}'")
 
@@ -574,6 +613,28 @@ _LIBRARY_DATA: List[Dict[str, Any]] = [
             {"round": 5, "action": "recover", "target": "worker-0"},
             {"round": 6, "action": "recover", "target": "worker-1"},
             {"round": 7, "action": "byzantine_count", "value": 0},
+        ],
+    ),
+    _spec(
+        "detection_evicts_attackers",
+        "Online detection in front of a plain average: reversed-gradient "
+        "attackers are scored, down-weighted and evicted mid-run, while forced "
+        "evict/readmit events exercise the membership lifecycle on an honest "
+        "worker.",
+        {
+            "deployment": "ssmw",
+            "num_workers": 6,
+            "num_byzantine_workers": 2,
+            "num_attacking_workers": 2,
+            "worker_attack": "reversed",
+            "gradient_gar": "average",
+            "detector": "distance",
+            "num_iterations": 10,
+            "accuracy_every": 5,
+        },
+        [
+            {"round": 1, "action": "evict", "target": "worker-0"},
+            {"round": 4, "action": "readmit", "target": "worker-0"},
         ],
     ),
 ]

@@ -177,16 +177,23 @@ class Server(Node):
             self._round_buffers[kind] = buffer
         return buffer
 
-    def get_gradient_matrix(self, iteration: int, quorum: Optional[int] = None) -> np.ndarray:
+    def get_gradient_matrix(
+        self,
+        iteration: int,
+        quorum: Optional[int] = None,
+        workers: Optional[List[str]] = None,
+    ) -> np.ndarray:
         """Pull worker gradients into the round buffer; return the ``(q, d)`` view.
 
-        ``quorum`` defaults to the total number of workers (synchronous,
-        fault-free operation).  The current model state is shipped with the
-        request so workers compute their estimate at the right point.  All
-        worker RPCs are issued concurrently through :attr:`executor`; rows are
-        ordered by simulated arrival time, and the elapsed time charged to
-        this server is the latency of the ``quorum``-th fastest reply — never
-        the sum over workers.
+        ``quorum`` defaults to the number of pulled workers (synchronous,
+        fault-free operation); ``workers`` restricts the pull to a subset of
+        this server's workers (detection-driven membership — evicted workers
+        are neither contacted nor waited for).  The current model state is
+        shipped with the request so workers compute their estimate at the
+        right point.  All worker RPCs are issued concurrently through
+        :attr:`executor`; rows are ordered by simulated arrival time, and the
+        elapsed time charged to this server is the latency of the
+        ``quorum``-th fastest reply — never the sum over workers.
 
         The returned matrix is **read-only** and recycled by the next
         gradient pull; aggregate it immediately (``gar.aggregate_matrix``) or
@@ -194,11 +201,17 @@ class Server(Node):
         """
         if not self.workers:
             raise ConfigurationError("this server has no workers to pull gradients from")
-        quorum = len(self.workers) if quorum is None else quorum
+        targets = list(workers) if workers is not None else self.workers
+        if not targets:
+            raise ConfigurationError("gradient pull needs at least one target worker")
+        unknown = [name for name in targets if name not in self.workers]
+        if unknown:
+            raise ConfigurationError(f"cannot pull gradients from unknown workers {unknown}")
+        quorum = len(targets) if quorum is None else quorum
         buffer = self._round_buffer("gradient", len(self.workers))
         replies, elapsed = self.transport.pull_many(
             self.node_id,
-            self.workers,
+            targets,
             "gradient",
             quorum=quorum,
             iteration=iteration,
@@ -208,7 +221,7 @@ class Server(Node):
         self.gradient_comm_time += elapsed
         # Requests carry the model state and every reply carries a gradient —
         # both are d-sized messages through this server's NIC.
-        self.messages_exchanged += len(self.workers) + len(replies)
+        self.messages_exchanged += len(targets) + len(replies)
         self.last_gradient_sources = [reply.source for reply in replies]
         return buffer.matrix()
 

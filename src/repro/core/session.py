@@ -90,6 +90,16 @@ class RoundAccountant:
         dimension = dimension if dimension is not None else self.server.dimension
         self._aggregation_time += self.deployment.cost_model.aggregation_time(gar, dimension)
 
+    def add_detection(self, detection, num_scored: int) -> None:
+        """Account one round of suspicion scoring over ``num_scored`` rows.
+
+        Charged into the aggregation bucket — detection is server-side math
+        over the same gradient matrix the GAR consumed.
+        """
+        self._aggregation_time += self.deployment.cost_model.detection_time(
+            self.server.dimension, num_scored
+        )
+
     def end(
         self,
         iteration: int,
@@ -197,9 +207,14 @@ class RoundResult:
     #: runaway loss / update norm) — the explicit counterpart to silently
     #: converging to a poisoned model.
     diverged: bool = False
+    #: Detection payload for this round — decayed suspicion per worker,
+    #: active membership and evict/re-admit events — or ``None`` when no
+    #: detector is attached (the default, so detector-less results are
+    #: unchanged).
+    detection: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "iteration": self.iteration,
             "events": [dict(event) for event in self.events],
             "quorum": self.quorum,
@@ -209,6 +224,9 @@ class RoundResult:
             "loss": self.loss,
             "diverged": self.diverged,
         }
+        if self.detection is not None:
+            data["detection"] = dict(self.detection)
+        return data
 
 
 # ---------------------------------------------------------------------- #
@@ -244,14 +262,46 @@ class RoundStrategy:
         self.apply(ctx, update)
 
     def scatter(self, ctx: RoundContext) -> np.ndarray:
-        """Collect this round's inputs (default: a robust gradient quorum)."""
+        """Collect this round's inputs (default: a robust gradient quorum).
+
+        With a detection manager attached the pull set shrinks to the
+        currently admitted workers and the quorum to the post-eviction size —
+        evicted workers cost no messages and no waiting.
+        """
+        detection = ctx.deployment.detection
+        if detection is not None:
+            return ctx.server.get_gradient_matrix(
+                ctx.iteration,
+                detection.pull_quorum(),
+                workers=list(detection.pull_workers()),
+            )
         return ctx.server.get_gradient_matrix(ctx.iteration, ctx.config.gradient_quorum())
 
     def aggregate(self, ctx: RoundContext, gradients: np.ndarray) -> np.ndarray:
-        """Robustly aggregate the collected inputs (default: the gradient GAR)."""
+        """Robustly aggregate the collected inputs (default: the gradient GAR).
+
+        With a detection manager attached the rows are scored and
+        reputation-weighted first (``detection.weigh_and_observe`` — the
+        suspicion update lands in the same round) and the GAR runs as a
+        right-sized clone with the *effective* f (declared f minus
+        evictions) — which is also what the accountant charges, so eviction
+        shows up as cheaper aggregation, not just fewer messages.
+        Membership decisions happen at the end of the round
+        (:meth:`Session.step` calls ``detection.finish_round``).
+        """
         gar = ctx.deployment.gradient_gar
-        update = gar(gradients=gradients, f=ctx.config.num_byzantine_workers)
-        ctx.account(gar)
+        detection = ctx.deployment.detection
+        if detection is None:
+            update = gar(gradients=gradients, f=ctx.config.num_byzantine_workers)
+            ctx.account(gar)
+            return update
+        sources = tuple(ctx.server.last_gradient_sources)
+        effective_f = detection.effective_f()
+        weighted = detection.weigh_and_observe(gradients, sources)
+        sized_gar = type(gar)(n=weighted.shape[0], f=effective_f)
+        update = sized_gar.aggregate_matrix(weighted)
+        ctx.account(sized_gar)
+        ctx.accountant.add_detection(detection, weighted.shape[0])
         return update
 
     def apply(self, ctx: RoundContext, update: np.ndarray) -> None:
@@ -496,6 +546,14 @@ class Session(Iterator[RoundResult]):
         accuracy = reporting.compute_accuracy() if should_evaluate(deployment, iteration) else None
         record = accountant.end(iteration, accuracy=accuracy)
         diverged = self._detect_divergence(iteration, record, reporting)
+        detection_payload = None
+        if deployment.detection is not None:
+            # Score the round's observations after the accountant closed the
+            # entry (the trace gains detection keys only on detector runs, so
+            # detector-less goldens stay byte-identical).
+            detection_payload = deployment.detection.finish_round(
+                iteration, trace=deployment.trace
+            )
         result = RoundResult(
             iteration=iteration,
             events=tuple(events),
@@ -506,6 +564,7 @@ class Session(Iterator[RoundResult]):
             loss=record.loss,
             record=record,
             diverged=diverged,
+            detection=detection_payload,
         )
         self._last_result = result
         self._next_round += 1

@@ -1,0 +1,116 @@
+"""Detector abstraction and registry.
+
+Detectors mirror the GAR registry: a small catalogue of named, stateless
+scoring rules selected by ``ClusterConfig.detector`` / ``--detector``.  Each
+detector looks at one round's gradient matrix and emits a non-negative *raw
+suspicion score* per contributing worker — 0 means "indistinguishable from the
+honest crowd", values around 1 and above mean "statistical outlier".  Scores
+are deliberately scale-free (excess ratios against the round's honest
+envelope, the ``(f+1)``-th largest per-worker statistic under the declared
+Byzantine budget ``f``) so a single eviction threshold works across models
+and learning-rate schedules.
+
+Raw scores carry no memory: persistence across rounds (exponential decay,
+hysteresis, evict/re-admit) lives in :class:`repro.detection.reputation.ReputationBook`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Type
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: name -> Detector subclass; populated by :func:`register_detector`.
+DETECTOR_REGISTRY: Dict[str, Type["Detector"]] = {}
+
+_BUILTINS_LOADED = False
+
+
+def register_detector(name: str) -> Callable[[Type["Detector"]], Type["Detector"]]:
+    """Class decorator registering a Detector under ``name``."""
+
+    def decorator(cls: Type["Detector"]) -> Type["Detector"]:
+        if not issubclass(cls, Detector):
+            raise ConfigurationError(
+                f"@register_detector('{name}') target must subclass Detector"
+            )
+        DETECTOR_REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return decorator
+
+
+class Detector:
+    """Base class for per-round suspicion scoring rules.
+
+    Subclasses implement :meth:`score`, mapping one round's observations to
+    ``{worker_name: raw_score}``.  Implementations must be deterministic pure
+    functions of their arguments (fuzzing replays rounds across serial,
+    threaded and process backends and expects identical scores).
+    """
+
+    name = "detector"
+
+    def score(
+        self,
+        matrix: np.ndarray,
+        sources: Sequence[str],
+        aggregate: np.ndarray,
+        f: int = 0,
+    ) -> Dict[str, float]:
+        """Score one round.
+
+        ``matrix`` is the round's ``(q, d)`` gradient matrix (unweighted),
+        ``sources`` names the worker behind each row, ``aggregate`` is a
+        robust reference centre for the round — the coordinate-wise median
+        of the matrix when scoring happens before aggregation (the default
+        round phases), or a GAR output when a caller scores after the fact.
+        ``f`` is the Byzantine budget still assumed present among the rows;
+        it anchors the honest envelope (at most ``f`` rows may lie, so the
+        ``(f+1)``-th most extreme row is honest), and ``f == 0`` must yield
+        all-zero scores.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _as_matrix(matrix: np.ndarray) -> np.ndarray:
+        out = np.asarray(matrix, dtype=np.float64)
+        if out.ndim != 2:
+            raise ConfigurationError(
+                f"detector expects a (q, d) gradient matrix, got shape {out.shape}"
+            )
+        return out
+
+
+def _ensure_builtin_detectors() -> None:
+    """Import the bundled detectors exactly once (registration side effect)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from repro.detection import detectors  # noqa: F401  (registers builtins)
+
+
+def normalize_detector_name(name: str) -> str:
+    return name.strip().lower().replace("_", "-")
+
+
+def available_detectors() -> Sequence[str]:
+    """Sorted names of every registered detector."""
+    _ensure_builtin_detectors()
+    return sorted(DETECTOR_REGISTRY)
+
+
+def init_detector(name: str) -> Detector:
+    """Instantiate the detector registered under ``name``."""
+    _ensure_builtin_detectors()
+    key = normalize_detector_name(name)
+    if key not in DETECTOR_REGISTRY:
+        raise ConfigurationError(
+            f"unknown detector '{name}'; choose from {sorted(DETECTOR_REGISTRY)}"
+        )
+    return DETECTOR_REGISTRY[key]()

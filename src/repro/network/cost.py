@@ -229,3 +229,23 @@ class CostModel:
         flops = gar.flops(dimension)
         copy_out = dimension * 8 / self.device.host_transfer_bytes_per_s
         return flops / self.device.aggregation_elements_per_second + copy_out
+
+    #: Detector passes over the round matrix (robust centre, deviations,
+    #: per-row reduction) — a small constant number of streaming sweeps.
+    DETECTION_PASSES = 3.0
+
+    def detection_time(self, dimension: int, num_scored: int) -> float:
+        """Suspicion-scoring time for one round over ``num_scored`` rows.
+
+        Detection streams the same ``(q, d)`` matrix the GAR consumed a few
+        more times (centre, deviation, per-row statistics), so its cost is a
+        small multiple of an average-style pass — O(q x d), *not* O(q^2 d).
+        Charged per round only when a detector is attached, and it shrinks
+        with the quorum: evicting workers makes detection itself cheaper too.
+        """
+        if num_scored <= 0:
+            return 0.0
+        if dimension <= 0:
+            raise ConfigurationError("dimension must be positive")
+        elements = self.DETECTION_PASSES * num_scored * dimension
+        return elements / self.device.aggregation_elements_per_second

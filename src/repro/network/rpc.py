@@ -717,20 +717,31 @@ class SocketBackend(TransportBackend):
     def _await_ready(self, host: _NodeHost) -> None:
         process = host.process
         assert process is not None and process.stdout is not None
+
+        def _abort(reason: str) -> CommunicationError:
+            # Every failure path must reap the host before surfacing: kill it
+            # if it is still alive (a malformed ready line means a *running*
+            # process nobody would otherwise stop), collect the zombie, and
+            # close our end of the stdout pipe so repeated failed recovers
+            # cannot leak file descriptors.
+            if process.poll() is None:
+                process.kill()
+            process.wait()
+            process.stdout.close()
+            return CommunicationError(reason)
+
         fd = process.stdout.fileno()
         os.set_blocking(fd, False)
         deadline = time.monotonic() + self.spawn_timeout
         buffer = b""
         while b"\n" not in buffer:
             if process.poll() is not None:
-                raise CommunicationError(
+                raise _abort(
                     f"node host '{host.node_id}' exited with {process.returncode} "
                     f"before becoming ready: {host.stderr_tail()}"
                 )
             if time.monotonic() > deadline:
-                process.kill()
-                process.wait()
-                raise CommunicationError(
+                raise _abort(
                     f"node host '{host.node_id}' not ready within "
                     f"{self.spawn_timeout:.0f}s: {host.stderr_tail()}"
                 )
@@ -741,7 +752,7 @@ class SocketBackend(TransportBackend):
                     buffer += chunk
         line = buffer.split(b"\n", 1)[0].decode("utf-8", errors="replace").split()
         if len(line) != 3 or line[0] != READY_PREFIX or line[1] != host.node_id:
-            raise CommunicationError(
+            raise _abort(
                 f"node host '{host.node_id}' printed a malformed ready line: {line}"
             )
         host.port = int(line[2])

@@ -214,26 +214,44 @@ class LinkModel:
 
 @dataclass
 class TransportStats:
-    """Counters reproducing the paper's communication accounting."""
+    """Counters reproducing the paper's communication accounting.
+
+    Mutation is lock-protected: the counters are shared by every node of a
+    deployment, and handler bodies running on executor threads during a
+    :meth:`Transport.pull_many` fan-out can issue *nested* pulls (a worker
+    pulling the model while serving a gradient request), so ``record`` may
+    run concurrently with the driving thread's own accounting.  Unprotected
+    ``+=`` read-modify-write cycles drop increments under that interleaving.
+    """
 
     messages_sent: int = 0
     bytes_sent: int = 0
     pulls_issued: int = 0
     time_communicating: float = 0.0
     per_kind_messages: Dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, kind: str, nbytes: int, latency: float) -> None:
-        self.messages_sent += 1
-        self.bytes_sent += nbytes
-        self.time_communicating += latency
-        self.per_kind_messages[kind] = self.per_kind_messages.get(kind, 0) + 1
+        with self._lock:
+            self.messages_sent += 1
+            self.bytes_sent += nbytes
+            self.time_communicating += latency
+            self.per_kind_messages[kind] = self.per_kind_messages.get(kind, 0) + 1
+
+    def note_pull_issued(self) -> None:
+        """Count one pull plan (see :meth:`Transport._plan`)."""
+        with self._lock:
+            self.pulls_issued += 1
 
     def reset(self) -> None:
-        self.messages_sent = 0
-        self.bytes_sent = 0
-        self.pulls_issued = 0
-        self.time_communicating = 0.0
-        self.per_kind_messages.clear()
+        with self._lock:
+            self.messages_sent = 0
+            self.bytes_sent = 0
+            self.pulls_issued = 0
+            self.time_communicating = 0.0
+            self.per_kind_messages.clear()
 
 
 @dataclass
@@ -466,7 +484,7 @@ class Transport:
         when the message is lost — dropped by the lossy link or cut off by a
         network partition between ``source`` and ``destination``.
         """
-        self.stats.pulls_issued += 1
+        self.stats.note_pull_issued()
         if self.failures.is_crashed(destination):
             raise NodeCrashedError(f"node '{destination}' has crashed")
         if not self.backend.has_handler(destination, kind):

@@ -85,6 +85,8 @@ class TestScenarioEvent:
             "attack_start",
             "attack_stop",
             "byzantine_count",
+            "evict",
+            "readmit",
         }
 
 
@@ -128,6 +130,7 @@ class TestLibrary:
             "calm_baseline",
             "churn_at_f_bound",
             "crash_quorum_edge",
+            "detection_evicts_attackers",
             "partition_heal",
             "straggler_storm",
         ]

@@ -1,0 +1,128 @@
+"""Unit tests for the detector registry and the bundled scoring rules.
+
+The load-bearing property is the **honest envelope**: raw suspicion is the
+excess of a worker's per-round statistic over the ``(f+1)``-th largest one,
+so honest workers score exactly 0 whenever the declared budget is saturated,
+and a budget of ``f == 0`` makes every score identically 0 — no budget, no
+suspicion, structurally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.base import (
+    DETECTOR_REGISTRY,
+    Detector,
+    available_detectors,
+    init_detector,
+    normalize_detector_name,
+    register_detector,
+)
+from repro.detection.detectors import _envelope_excess
+from repro.exceptions import ConfigurationError
+
+pytestmark = pytest.mark.detection
+
+BUILTINS = ("distance", "mad", "variance")
+
+
+def crowd_with_attacker(scale: float = -50.0, honest: int = 5, dim: int = 12):
+    """An honest crowd plus one flagrantly scaled row (the last one)."""
+    rng = np.random.default_rng(9)
+    base = rng.normal(1.0, 0.05, size=(honest, dim))
+    attacker = scale * np.mean(base, axis=0, keepdims=True)
+    matrix = np.vstack([base, attacker])
+    sources = [f"worker-{i}" for i in range(honest)] + ["attacker"]
+    return matrix, sources
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert tuple(available_detectors()) == tuple(sorted(BUILTINS))
+
+    @pytest.mark.parametrize("alias", ["distance", "  Distance ", "DISTANCE"])
+    def test_init_normalizes_names(self, alias):
+        assert init_detector(alias).name == "distance"
+
+    def test_underscores_normalize_to_dashes(self):
+        assert normalize_detector_name("  My_Fancy_One ") == "my-fancy-one"
+
+    def test_unknown_detector_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="unknown detector 'nope'"):
+            init_detector("nope")
+
+    def test_register_rejects_non_detectors(self):
+        with pytest.raises(ConfigurationError, match="must subclass Detector"):
+            register_detector("bogus")(object)
+        assert "bogus" not in DETECTOR_REGISTRY
+
+    def test_register_adds_custom_detector(self):
+        @register_detector("always-zero")
+        class AlwaysZero(Detector):
+            def score(self, matrix, sources, aggregate, f=0):
+                return {name: 0.0 for name in sources}
+
+        try:
+            instance = init_detector("always-zero")
+            assert isinstance(instance, AlwaysZero)
+            assert instance.name == "always-zero"
+        finally:
+            del DETECTOR_REGISTRY["always-zero"]
+
+
+class TestEnvelope:
+    def test_zero_budget_yields_all_zeros(self):
+        stat = np.array([1.0, 5.0, 100.0])
+        assert np.array_equal(_envelope_excess(stat, 0), np.zeros(3))
+
+    def test_outliers_exceed_the_fplus1_bound(self):
+        stat = np.array([1.0, 1.2, 0.9, 60.0])
+        raw = _envelope_excess(stat, 1)
+        # Scale is the 2nd largest (1.2): only the 60.0 row exceeds it.
+        assert raw[3] == pytest.approx(60.0 / 1.2 - 1.0, rel=1e-9)
+        assert np.array_equal(raw[:3], np.zeros(3))
+
+    def test_budget_saturation_keeps_honest_at_zero(self):
+        stat = np.array([1.0, 1.1, 0.95, 40.0, 55.0])
+        raw = _envelope_excess(stat, 2)
+        assert np.all(raw[:3] == 0.0)
+        assert np.all(raw[3:] > 10.0)
+
+    def test_oversized_budget_clamps_to_the_smallest_stat(self):
+        stat = np.array([2.0, 4.0])
+        raw = _envelope_excess(stat, 10)  # scale = min(stat)
+        assert raw[1] == pytest.approx(1.0, rel=1e-9)
+
+
+@pytest.mark.parametrize("name", BUILTINS)
+class TestBundledDetectors:
+    def test_zero_budget_silences_every_score(self, name):
+        matrix, sources = crowd_with_attacker()
+        scores = init_detector(name).score(
+            matrix, sources, np.median(matrix, axis=0), f=0
+        )
+        assert set(scores) == set(sources)
+        assert all(value == 0.0 for value in scores.values())
+
+    def test_flagrant_attacker_scores_high_honest_score_zero(self, name):
+        matrix, sources = crowd_with_attacker()
+        scores = init_detector(name).score(
+            matrix, sources, np.median(matrix, axis=0), f=1
+        )
+        assert scores["attacker"] > 8.0, "flagrant outlier below eviction bar"
+        for source in sources[:-1]:
+            assert scores[source] == 0.0
+
+    def test_scores_are_deterministic_pure_functions(self, name):
+        matrix, sources = crowd_with_attacker()
+        detector = init_detector(name)
+        aggregate = np.median(matrix, axis=0)
+        first = detector.score(matrix, sources, aggregate, f=1)
+        second = detector.score(matrix.copy(), list(sources), aggregate.copy(), f=1)
+        assert first == second
+
+    def test_non_matrix_input_is_rejected(self, name):
+        with pytest.raises(ConfigurationError, match="gradient matrix"):
+            init_detector(name).score(np.ones(4), ["w"], np.ones(4), f=1)

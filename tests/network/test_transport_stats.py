@@ -1,0 +1,91 @@
+"""Thread-safety regression for :class:`TransportStats`.
+
+The counters are shared by every node of a deployment, and nested pulls from
+handler bodies run on executor threads during a ``pull_many`` fan-out — so
+``record`` / ``note_pull_issued`` must be atomic.  The stress tests below
+reliably lose increments on the unlocked ``+=`` implementation (a tiny
+``sys.setswitchinterval`` forces the scheduler to preempt mid
+read-modify-write) and pin the exact totals the locked version guarantees.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import pytest
+
+from repro.network.transport import TransportStats
+
+THREADS = 8
+ITERATIONS = 40_000
+
+
+@pytest.fixture
+def frantic_scheduler():
+    """Preempt threads every ~5us so lost updates surface deterministically.
+
+    At this cadence the unlocked implementation loses thousands of
+    ``per_kind_messages`` increments per run (the dict read-modify-write is
+    the widest race window); the locked one never drops any.
+    """
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(5e-6)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(previous)
+
+
+def _hammer(stats: TransportStats, thread_index: int) -> None:
+    kind = f"kind-{thread_index % 2}"
+    for _ in range(ITERATIONS):
+        stats.record(kind, 10, 0.5)
+        stats.note_pull_issued()
+
+
+def test_concurrent_record_loses_no_increments(frantic_scheduler):
+    stats = TransportStats()
+    threads = [
+        threading.Thread(target=_hammer, args=(stats, index))
+        for index in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    total = THREADS * ITERATIONS
+    assert stats.messages_sent == total
+    assert stats.pulls_issued == total
+    assert stats.bytes_sent == total * 10
+    assert stats.time_communicating == pytest.approx(total * 0.5)
+    assert stats.per_kind_messages == {
+        "kind-0": total // 2,
+        "kind-1": total // 2,
+    }
+
+
+def test_reset_is_atomic_against_recorders(frantic_scheduler):
+    """reset() mid-storm never leaves torn state: afterwards the counters
+    reflect only post-reset records, and every field moves together."""
+    stats = TransportStats()
+    stop = threading.Event()
+
+    def recorder():
+        while not stop.is_set():
+            stats.record("gradient", 4, 0.25)
+
+    threads = [threading.Thread(target=recorder) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for _ in range(50):
+        stats.reset()
+    stop.set()
+    for thread in threads:
+        thread.join()
+
+    # Drained: whatever was recorded after the last reset is self-consistent.
+    assert stats.bytes_sent == stats.messages_sent * 4
+    assert stats.time_communicating == pytest.approx(stats.messages_sent * 0.25)
+    assert sum(stats.per_kind_messages.values()) == stats.messages_sent

@@ -1,0 +1,72 @@
+"""Tier-1 smoke test for the detection benchmark.
+
+Loads the benchmark harness (``benchmarks/bench_detection.py``) and
+re-asserts the headline acceptance on the cells that carry it — small enough
+for CI, same configuration as the full grid: under reversed gradients a
+plain average with the distance detector evicts both attackers within 15
+rounds and ends at least as accurate as krum without detection, and the
+asynchronous quorum shrink makes post-eviction rounds cheaper than the
+detector-less baseline's.  The full attack x GAR grid with the per-detector
+shoot-out lives in ``make bench-detection`` / ``BENCH_detection.json``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.detection
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_detection.py"
+
+SMOKE_ITERATIONS = 16  # enough rounds to give the r<=15 deadline teeth
+
+
+def load_bench():
+    spec = importlib.util.spec_from_file_location("bench_detection", BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return load_bench()
+
+
+@pytest.fixture(scope="module")
+def rescued_cell(bench):
+    return bench.run_cell(
+        "reversed", "average", "distance", iterations=SMOKE_ITERATIONS
+    )
+
+
+def test_all_attackers_evicted_within_deadline(bench, rescued_cell):
+    evictions = rescued_cell["evictions"]
+    assert len(evictions) == 2, f"expected both attackers evicted: {evictions}"
+    assert {e["target"] for e in evictions} == {"worker-6", "worker-7"}
+    assert rescued_cell["time_to_evict"] <= bench.EVICT_DEADLINE
+
+
+def test_detected_average_matches_krum_baseline(bench, rescued_cell):
+    """The rescue claim: average + detection >= krum without detection."""
+    krum_baseline = bench.run_cell(
+        "reversed", "krum", "", iterations=SMOKE_ITERATIONS
+    )
+    assert krum_baseline["evictions"] == []
+    assert rescued_cell["final_accuracy"] >= krum_baseline["final_accuracy"]
+    # And the undetected average really is the disaster detection rescues
+    # it from — otherwise this cell proves nothing.
+    collapsed = bench.run_cell(
+        "reversed", "average", "", iterations=SMOKE_ITERATIONS
+    )
+    assert collapsed["final_accuracy"] < 0.5
+
+
+def test_async_post_eviction_rounds_are_cheaper(bench):
+    gain = bench.measure_round_time_gain(iterations=SMOKE_ITERATIONS)
+    assert gain["detected"]["time_to_evict"] is not None
+    assert gain["round_time_speedup"] > 1.0
