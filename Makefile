@@ -6,6 +6,8 @@
 #   make test-scenarios — golden-trace regression suite for the chaos scenarios
 #   make test-detection — online Byzantine-detection surface: detectors,
 #                         reputation book, eviction lifecycle, fuzz invariants
+#   make test-resilience— self-healing runtime surface: retry/backoff, deadline
+#                         budgets, hedged pulls, liveness detection, supervision
 #   make test-backends  — transport conformance + golden equivalence across the
 #                         serial / threaded / process backends
 #   make update-golden  — explicitly re-bless the golden scenario traces
@@ -18,6 +20,9 @@
 #   make bench-detection— online detection: attack x GAR grid with detection
 #                         off/on, per-detector time-to-evict, async quorum-
 #                         shrink gain; writes BENCH_detection.json
+#   make bench-resilience— self-healing runtime: straggler-storm round time
+#                         with hedging + liveness-driven membership shrink,
+#                         unscripted SIGKILL recovery; writes BENCH_resilience.json
 #   make bench          — the full figure-reproduction benchmark suite (minutes)
 #   make fuzz-smoke     — tier-1 scenario-fuzzing smoke: fixed seeds, dozens of
 #                         generated scenarios, every invariant checked
@@ -29,7 +34,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-session test-scenarios test-detection test-backends update-golden bench-smoke bench-hotpath bench-wire bench-detection bench fuzz-smoke fuzz docs-check quickstart
+.PHONY: test test-session test-scenarios test-detection test-resilience test-backends update-golden bench-smoke bench-hotpath bench-wire bench-detection bench-resilience bench fuzz-smoke fuzz docs-check quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,6 +47,9 @@ test-scenarios:
 
 test-detection:
 	$(PYTHON) -m pytest -m detection -q
+
+test-resilience:
+	$(PYTHON) -m pytest -m resilience -q
 
 test-backends:
 	$(PYTHON) -m pytest tests/network/test_wire.py tests/network/test_rpc_conformance.py \
@@ -61,6 +69,9 @@ bench-wire:
 
 bench-detection:
 	$(PYTHON) benchmarks/bench_detection.py
+
+bench-resilience:
+	$(PYTHON) benchmarks/bench_resilience.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s

@@ -52,6 +52,12 @@ def pytest_configure(config) -> None:
         "detection: online Byzantine-detection test (detectors, reputation, "
         "eviction lifecycle; filter with -m detection, see docs/detection.md)",
     )
+    config.addinivalue_line(
+        "markers",
+        "resilience: self-healing runtime test (retry/backoff, deadline "
+        "budgets, hedged pulls, liveness detection, node supervision; "
+        "filter with -m resilience, see docs/resilience.md)",
+    )
 
 
 def pytest_collection_modifyitems(config, items) -> None:

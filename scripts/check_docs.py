@@ -37,6 +37,7 @@ DOCUMENTS = (
     "docs/fuzzing.md",
     "docs/performance.md",
     "docs/detection.md",
+    "docs/resilience.md",
 )
 
 #: Top-level directories a backtick path may point into (plus lone files).

@@ -102,6 +102,24 @@ def build_parser() -> argparse.ArgumentParser:
             "empty (default) disables detection entirely"
         ),
     )
+    run_parser.add_argument(
+        "--retry",
+        action="store_true",
+        help="self-healing: retry idempotent pulls with bounded exponential "
+        "backoff on retryable transport errors (process backend)",
+    )
+    run_parser.add_argument(
+        "--hedge",
+        action="store_true",
+        help="self-healing: re-issue straggling or lost quorum pulls to "
+        "reserve peers, ranked by tracked per-peer latency",
+    )
+    run_parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help="self-healing: respawn unscripted host deaths from their last "
+        "state snapshot under a restart budget (process backend)",
+    )
     run_parser.add_argument("--asynchronous", action="store_true")
     run_parser.add_argument("--non-iid", action="store_true")
     run_parser.add_argument(
@@ -172,6 +190,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=5,
         help="also replay every Nth case with a mid-run pause/resume (0 = never)",
+    )
+    fuzz_parser.add_argument(
+        "--supervised",
+        action="store_true",
+        help="run every generated scenario under the self-healing runtime "
+        "(retry + hedged pulls + supervision) and additionally require that "
+        "no tolerated-fault run ends in a quorum timeout",
     )
     fuzz_parser.add_argument(
         "--no-determinism",
@@ -281,6 +306,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         detector=args.detector,
         seed=args.seed,
     )
+    resilience = {
+        key: True
+        for key, enabled in (
+            ("retry", args.retry),
+            ("hedge", args.hedge),
+            ("supervise", args.supervise),
+        )
+        if enabled
+    }
+    if resilience:
+        # Only materialised when a flag is set, so flag-less runs build the
+        # exact same config dict as before the resilience surface existed.
+        kwargs["resilience"] = resilience
     if args.scenario:
         config = config_for_scenario(args.scenario, **kwargs)
     else:
@@ -357,6 +395,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         start=args.start,
         deployments=deployments,
         budgets=budgets,
+        supervised=args.supervised,
         determinism=not args.no_determinism,
         cross_executor_every=args.cross_executor_every,
         pause_resume_every=args.pause_resume_every,

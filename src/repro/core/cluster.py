@@ -92,6 +92,13 @@ class ClusterConfig:
     #: format through the real codec; the process backend negotiates it in
     #: the connection hello (see :mod:`repro.network.serialization`).
     wire_format: str = "float64"
+    #: Self-healing runtime options (see :class:`repro.network.resilience.\
+    #: ResilienceConfig`): ``retry`` (idempotent-pull retry with backoff),
+    #: ``hedge`` (re-issue straggling quorum pulls), ``supervise`` (respawn
+    #: unscripted host deaths) plus their tuning knobs.  Empty = everything
+    #: off (the default — resilience is strictly opt-in, so traces and
+    #: goldens are unchanged without it).
+    resilience: Dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     def __post_init__(self) -> None:
@@ -139,6 +146,9 @@ class ClusterConfig:
         # Fail at validation time, not mid-round: unknown tokens and
         # unavailable compressors (+zstd without the module) are both errors.
         parse_wire_format(self.wire_format, require_available=True)
+        # Same for resilience options: unknown keys and out-of-range knobs
+        # fail here, not when the supervisor first consults them.
+        self.resilience_config()
         if self.detector:
             # Imported lazily so parsing detector-less configs stays light.
             from repro.detection.base import DETECTOR_REGISTRY, _ensure_builtin_detectors, normalize_detector_name
@@ -207,6 +217,12 @@ class ClusterConfig:
         if self.asynchronous:
             return self.num_workers - self.num_byzantine_workers
         return self.num_workers
+
+    def resilience_config(self):
+        """The validated :class:`repro.network.resilience.ResilienceConfig`."""
+        from repro.network.resilience import ResilienceConfig
+
+        return ResilienceConfig.from_value(self.resilience)
 
     def model_quorum(self) -> int:
         """How many peer models a server replica waits for per iteration."""

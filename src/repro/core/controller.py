@@ -55,6 +55,13 @@ class Deployment:
     #: Online Byzantine detection state, attached when the config names a
     #: detector (``None`` otherwise — the default round phases check this).
     detection: Optional["DetectionManager"] = None
+    #: Liveness failure detection, attached when ``config.resilience``
+    #: enables any self-healing feature (``None`` otherwise — the default
+    #: round phases and the transport check this).
+    health: Optional["LivenessDetector"] = None
+    #: Process-backend watchdog respawning unscripted host deaths, attached
+    #: when ``config.resilience`` enables supervision on the process backend.
+    supervisor: Optional["NodeSupervisor"] = None
 
     @property
     def executor(self) -> Executor:
@@ -71,7 +78,14 @@ class Deployment:
         Applies the scenario events scheduled for ``iteration`` (if a
         director is attached) and opens the round's trace entry; a no-op for
         scenario-less deployments.  Returns the events applied.
+
+        With a node supervisor attached its patrol runs *first*, so an
+        unscripted host death from the previous round is respawned before
+        the scenario director injects this round's events (scripted crashes
+        stay authoritative — the patrol skips them).
         """
+        if self.supervisor is not None:
+            self.supervisor.patrol(iteration)
         events = self.director.apply(iteration) if self.director is not None else []
         if self.trace is not None:
             self.trace.begin_round(iteration, events)
@@ -271,6 +285,38 @@ class Controller:
                 scenario=spec.name, deployment=config.deployment, seed=config.seed
             )
             deployment.director = ScenarioDirector(spec, deployment)
+        resilience = config.resilience_config()
+        if resilience.active:
+            # Imported lazily: resilience-less runs (every golden) never
+            # touch the self-healing machinery.
+            from repro.core.health import LivenessDetector, NodeSupervisor
+            from repro.network.resilience import HedgePolicy
+
+            deployment.health = LivenessDetector(
+                [worker.node_id for worker in workers],
+                declared_f=config.num_byzantine_workers,
+                gar_name=config.gradient_gar,
+                asynchronous=config.asynchronous,
+            )
+            transport.health = deployment.health
+            if resilience.hedge:
+                transport.hedge = HedgePolicy.from_config(resilience)
+            if backend is not None:
+                if resilience.retry:
+                    backend.retry_policy = resilience.retry_policy(config.seed)
+                    backend.on_retry = (
+                        lambda node, attempt, error: transport.stats.note_retry()
+                    )
+                if resilience.supervise:
+                    deployment.supervisor = NodeSupervisor(
+                        backend,
+                        failures,
+                        roster=[worker.node_id for worker in workers]
+                        + [server.node_id for server in servers],
+                        health=deployment.health,
+                        restart_budget=resilience.restart_budget,
+                        restart_window=resilience.restart_window,
+                    )
         if backend is not None:
             # Spawn the node subprocesses only after every node has
             # registered its handlers (the hosts mirror that registry) and

@@ -50,6 +50,7 @@ from repro.core.metrics import Trace
 from repro.core.scenario import ScenarioDirector, ScenarioEvent, ScenarioSpec, validate_timeline
 from repro.core.session import Session
 from repro.exceptions import ConfigurationError, GarfieldError
+from repro.exceptions import TimeoutError as ReproTimeoutError
 
 # ---------------------------------------------------------------------- #
 # Tunables (empirically calibrated on the logistic/MNIST fuzz experiment)
@@ -86,6 +87,7 @@ INVARIANTS = (
     "no-calm-eviction",
     "attacker-reputation",
     "eviction-budget",
+    "no-timeout-under-supervision",
 )
 
 #: Small logistic/MNIST experiment shared by every generated case: one round
@@ -182,6 +184,7 @@ class ScenarioGenerator:
         seed: int = 0,
         deployments: Sequence[str] = FUZZ_DEPLOYMENTS,
         budgets: Sequence[str] = BUDGETS,
+        supervised: bool = False,
     ) -> None:
         if not deployments:
             raise ConfigurationError("the generator needs at least one deployment")
@@ -196,6 +199,11 @@ class ScenarioGenerator:
         self.seed = int(seed)
         self.deployments = tuple(deployments)
         self.budgets = tuple(budgets)
+        #: When true, every emitted spec runs under the self-healing runtime
+        #: (retry + hedged pulls + supervision) — and the checker holds it to
+        #: the stronger liveness bar: tolerated-fault runs must never end in
+        #: a quorum timeout.
+        self.supervised = bool(supervised)
 
     # ------------------------------------------------------------------ #
     def case(self, index: int) -> FuzzCase:
@@ -209,6 +217,11 @@ class ScenarioGenerator:
         events, mechanism, guaranteed = self._sample_events(
             rng, deployment, budget, config, margin, crash_pool
         )
+        if self.supervised:
+            # Injected *after* sampling, so the RNG stream — and therefore
+            # every (seed, index) spec of the default generator — is
+            # untouched (the seed-stability fixtures lock that grammar).
+            config["resilience"] = {"retry": True, "hedge": True, "supervise": True}
         spec = ScenarioSpec(
             name=f"fuzz-{self.seed}-{index}-{deployment}-{budget}",
             description=(
@@ -455,6 +468,9 @@ class RunOutcome:
     #: Per-round detection payloads (``RoundResult.detection``); empty when
     #: the spec runs without a detector.
     detections: List[Optional[Dict[str, Any]]] = field(default_factory=list)
+    #: Per-round liveness payloads (``RoundResult.health``); all-``None``
+    #: when the spec runs without resilience.
+    healths: List[Optional[Dict[str, Any]]] = field(default_factory=list)
     #: Final membership / decayed suspicion, captured before session close.
     final_evicted: List[str] = field(default_factory=list)
     final_suspicion: Dict[str, float] = field(default_factory=dict)
@@ -485,6 +501,7 @@ def run_spec(
         outcome.quorums.append(result.quorum)
         outcome.norms.append(result.update_norm)
         outcome.detections.append(result.detection)
+        outcome.healths.append(result.health)
         if result.diverged:
             outcome.flagged_rounds.append(result.iteration)
         if result.loss is not None:
@@ -695,7 +712,15 @@ GarfieldError` or an explicit divergence flag — never a silent completion;
         """
         config = ClusterConfig.from_dict(dict(case.spec.config))
         static = config.gradient_quorum()
-        if not dict(case.spec.config).get("detector"):
+        has_detector = bool(dict(case.spec.config).get("detector"))
+        # The liveness membership mirror is only consulted by the *default*
+        # scatter phase (ssmw / aggregathor — the same set detection
+        # supports); strategies overriding their round keep the static quorum.
+        has_resilience = bool(dict(case.spec.config).get("resilience")) and case.deployment in (
+            "ssmw",
+            "aggregathor",
+        )
+        if not has_detector and not has_resilience:
             return [static] * len(outcome.quorums)
         active = int(config.num_workers)
         declared_f = int(config.num_byzantine_workers)
@@ -706,15 +731,25 @@ GarfieldError` or an explicit divergence flag — never a silent completion;
             return active
 
         expected: List[int] = []
-        for detection in outcome.detections:
-            expected.append(quorum_now())
-            for event in (detection or {}).get("events", ()):
-                if event["action"] == "evict":
-                    active -= 1
-                elif event["action"] == "readmit":
-                    active += 1
-        # Rounds past the last recorded detection payload (if any) keep the
-        # final membership's quorum.
+        if has_detector:
+            for detection in outcome.detections:
+                expected.append(quorum_now())
+                for event in (detection or {}).get("events", ()):
+                    if event["action"] == "evict":
+                        active -= 1
+                    elif event["action"] == "readmit":
+                        active += 1
+        else:
+            # Resilience without a detector: the liveness detector owns the
+            # membership mirror, and only sticky dead declarations shrink it
+            # (round r's declaration takes effect at round r + 1).
+            for health in outcome.healths:
+                expected.append(quorum_now())
+                for event in (health or {}).get("events", ()):
+                    if event["action"] == "dead":
+                        active -= 1
+        # Rounds past the last recorded payload (if any) keep the final
+        # membership's quorum.
         while len(expected) < len(outcome.quorums):
             expected.append(quorum_now())
         return expected
@@ -822,6 +857,23 @@ GarfieldError` or an explicit divergence flag — never a silent completion;
             return
         # Tolerated budgets from here on.
         if error is not None:
+            resilience = dict(case.spec.config).get("resilience") or {}
+            if (
+                isinstance(error, ReproTimeoutError)
+                and resilience.get("hedge")
+                and resilience.get("supervise")
+            ):
+                # The self-healing pitch, held as an invariant: with hedged
+                # pulls re-issuing lost/straggling requests and supervision
+                # respawning unscripted deaths, no within-budget schedule —
+                # probabilistic loss included — may end in a quorum timeout.
+                report.violations.append(
+                    InvariantViolation(
+                        "no-timeout-under-supervision",
+                        f"supervised tolerated schedule (budget '{case.budget}', margin "
+                        f"{case.margin}) still timed out: {error}",
+                    )
+                )
             if case.guarantees_completion:
                 report.violations.append(
                     InvariantViolation(
@@ -1019,6 +1071,7 @@ def run_campaign(
     *,
     deployments: Sequence[str] = FUZZ_DEPLOYMENTS,
     budgets: Sequence[str] = BUDGETS,
+    supervised: bool = False,
     start: int = 0,
     norm_bound: float = UPDATE_NORM_BOUND,
     determinism: bool = True,
@@ -1037,7 +1090,9 @@ def run_campaign(
     ``save_dir``, written as scenario JSON replayable via
     ``repro run --scenario <file>``.
     """
-    generator = ScenarioGenerator(seed=seed, deployments=deployments, budgets=budgets)
+    generator = ScenarioGenerator(
+        seed=seed, deployments=deployments, budgets=budgets, supervised=supervised
+    )
     checker = InvariantChecker(norm_bound=norm_bound)
     result = CampaignResult(seed=seed, count=count)
     for offset in range(count):

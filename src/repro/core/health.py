@@ -1,0 +1,433 @@
+"""Liveness detection and node supervision: the self-healing runtime core.
+
+Two cooperating pieces turn the failure *injection* machinery into failure
+*tolerance* machinery (see ``docs/resilience.md``):
+
+* :class:`LivenessDetector` — a heartbeat/φ-accrual-style accrual over
+  per-call outcomes.  The transport feeds it every fan-out result (success
+  latency, refused dial, timeout/loss); suspicion accrues on bad outcomes
+  and halves on good ones, classifying each peer ``healthy`` / ``suspect`` /
+  ``dead``.  Dead declarations honour the same quorum-safety guard as
+  detection eviction: a declaration that would starve the GAR below
+  ``minimum_inputs(f)`` degrades to ``suspect``.  When a
+  :class:`~repro.detection.manager.DetectionManager` is attached, liveness
+  evidence is fed into its :class:`~repro.detection.reputation.ReputationBook`
+  (suspect peers are down-weighted; dead peers are evicted through the
+  manager's own guard) and membership stays owned by detection; without one
+  the detector runs its own membership mirror consulted by the default
+  scatter phase.
+* :class:`NodeSupervisor` — the process-backend watchdog.  Each round it
+  patrols the host fleet: a host that is down *without* a scripted crash
+  (unscripted SIGKILL, OOM, wedge) is respawned from its last state
+  snapshot, under a restart budget of ``restart_budget`` respawns per
+  ``restart_window`` rounds; past the budget the node is declared dead and
+  the effective membership shrinks through the detector's guard.  Running
+  hosts are snapshotted each patrol so a respawn restores near-current
+  state.
+
+Everything here is opt-in: nothing is constructed unless
+``ClusterConfig.resilience`` enables a feature, so every pre-resilience
+golden trace stays byte-identical.  Health payloads/trace keys follow the
+detection precedent — present only on rounds where the detector was active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.aggregators.base import GAR_REGISTRY
+from repro.exceptions import ConfigurationError
+
+#: Peer classifications, from best to worst.
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One typed health transition or supervisor action."""
+
+    round_index: int
+    #: "suspect" | "recovered" | "dead" | "respawn" | "gave-up"
+    action: str
+    target: str
+    score: float = 0.0
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "round": int(self.round_index),
+            "action": self.action,
+            "target": self.target,
+            "score": round(float(self.score), 6),
+        }
+        if self.detail:
+            data["detail"] = self.detail
+        return data
+
+
+class LivenessDetector:
+    """Accrual failure detection over per-call outcomes.
+
+    Suspicion is a non-negative score per peer: refused dials and
+    timeouts/losses add to it, successes halve it, and a success whose
+    latency towers over the cohort's recent median (``slow_factor`` times)
+    counts as slow evidence instead of a recovery — that is what lets a
+    straggler storm surface as ``suspect``/``dead`` peers even though every
+    reply eventually arrives.  Thresholds map scores to statuses with the
+    usual accrual shape: brief hiccups decay away, persistent silence
+    crosses ``suspect_after`` and then ``dead_after``.
+
+    The detector is fed from the coordinating thread only (the transport's
+    fan-out classification loop), so it needs no locking.
+    """
+
+    def __init__(
+        self,
+        roster: Sequence[str],
+        *,
+        declared_f: int = 0,
+        gar_name: str = "average",
+        asynchronous: bool = False,
+        suspect_after: float = 2.0,
+        dead_after: float = 6.0,
+        slow_factor: float = 8.0,
+        success_decay: float = 0.5,
+        refused_weight: float = 2.0,
+        timeout_weight: float = 1.5,
+        slow_weight: float = 1.0,
+        cohort_window: int = 256,
+        cohort_min_samples: int = 8,
+    ) -> None:
+        self.roster: Tuple[str, ...] = tuple(roster)
+        if not self.roster:
+            raise ConfigurationError("liveness detector needs a non-empty roster")
+        if not 0.0 < suspect_after < dead_after:
+            raise ConfigurationError("need 0 < suspect_after < dead_after")
+        if gar_name not in GAR_REGISTRY:
+            raise ConfigurationError(f"unknown GAR '{gar_name}' for liveness guard")
+        self.declared_f = int(declared_f)
+        self.gar_cls = GAR_REGISTRY[gar_name]
+        self.asynchronous = bool(asynchronous)
+        self.suspect_after = float(suspect_after)
+        self.dead_after = float(dead_after)
+        self.slow_factor = float(slow_factor)
+        self.success_decay = float(success_decay)
+        self.refused_weight = float(refused_weight)
+        self.timeout_weight = float(timeout_weight)
+        self.slow_weight = float(slow_weight)
+        self.cohort_window = int(cohort_window)
+        self.cohort_min_samples = int(cohort_min_samples)
+
+        self.scores: Dict[str, float] = {name: 0.0 for name in self.roster}
+        self._status: Dict[str, str] = {name: HEALTHY for name in self.roster}
+        self._dead: Dict[str, int] = {}  # target -> round declared
+        self._cohort: List[float] = []  # recent success latencies, all peers
+        self._observed_round = False
+        self._pending_events: List[HealthEvent] = []
+        self._requested_dead: List[Tuple[str, str]] = []  # (target, reason)
+        #: Every health event across the run, in decision order.
+        self.events: List[HealthEvent] = []
+        #: Most recent per-round payload (statuses / scores / dead / events).
+        self.last_payload: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------ #
+    # Per-call observations (fed by Transport._note_health)
+    # ------------------------------------------------------------------ #
+    def _cohort_reference(self) -> Optional[float]:
+        if len(self._cohort) < self.cohort_min_samples:
+            return None
+        ordered = sorted(self._cohort)
+        return ordered[len(ordered) // 2]
+
+    def observe_success(self, peer: str, latency: float) -> None:
+        """A usable reply: decays suspicion — unless the reply straggled."""
+        if peer not in self.scores:
+            return
+        self._observed_round = True
+        reference = self._cohort_reference()
+        self._cohort.append(float(latency))
+        if len(self._cohort) > self.cohort_window:
+            del self._cohort[: len(self._cohort) - self.cohort_window]
+        if reference is not None and latency > self.slow_factor * reference:
+            self.scores[peer] += self.slow_weight
+        else:
+            self.scores[peer] *= self.success_decay
+
+    def observe_refused(self, peer: str) -> None:
+        """A refused/reset dial or crashed-at-plan peer: strong evidence."""
+        if peer not in self.scores:
+            return
+        self._observed_round = True
+        self.scores[peer] += self.refused_weight
+
+    def observe_timeout(self, peer: str) -> None:
+        """A lost, silent or deadline-expired reply: slow-or-dead evidence."""
+        if peer not in self.scores:
+            return
+        self._observed_round = True
+        self.scores[peer] += self.timeout_weight
+
+    # ------------------------------------------------------------------ #
+    # Supervisor hooks
+    # ------------------------------------------------------------------ #
+    def note_event(self, event: HealthEvent) -> None:
+        """Queue an externally produced event (supervisor respawn/gave-up)."""
+        self._pending_events.append(event)
+
+    def request_dead(self, peer: str, reason: str = "liveness") -> None:
+        """Ask for ``peer`` to be declared dead at the next round boundary.
+
+        The declaration is resolved in :meth:`finish_round` under the
+        quorum-safety guard (or the detection manager's, when attached).
+        """
+        if peer not in self.scores:
+            raise ConfigurationError(f"cannot declare unknown peer '{peer}' dead")
+        self._requested_dead.append((peer, reason))
+
+    # ------------------------------------------------------------------ #
+    # Membership mirror (consulted by scatter when no detection manager)
+    # ------------------------------------------------------------------ #
+    @property
+    def dead(self) -> Tuple[str, ...]:
+        """Peers declared dead, in roster order."""
+        return tuple(name for name in self.roster if name in self._dead)
+
+    def is_dead(self, peer: str) -> bool:
+        return peer in self._dead
+
+    def has_exclusions(self) -> bool:
+        return bool(self._dead)
+
+    def status(self, peer: str) -> str:
+        return self._status[peer]
+
+    def statuses(self) -> Dict[str, str]:
+        return {name: self._status[name] for name in self.roster}
+
+    def pull_workers(self) -> Tuple[str, ...]:
+        """Peers still worth pulling from, in roster order."""
+        return tuple(name for name in self.roster if name not in self._dead)
+
+    def pull_quorum(self) -> int:
+        """Replies to wait for, given the shrunk membership.
+
+        Mirrors :meth:`repro.detection.manager.DetectionManager.pull_quorum`:
+        asynchronous deployments keep the declared ``f`` as reply slack, so
+        the quorum shrinks by one per dead peer; synchronous ones wait for
+        every peer still alive.
+        """
+        active = len(self.pull_workers())
+        if self.asynchronous:
+            return max(1, active - self.declared_f)
+        return active
+
+    def _may_declare_dead(self, peer: str) -> bool:
+        """Quorum-safety guard: a declaration must not starve the GAR.
+
+        Unlike detection eviction there is no ``f``-cap on how many peers may
+        be declared dead — a dead peer contributes no gradient either way —
+        but the post-declaration quorum must still cover
+        ``minimum_inputs(declared_f)``: the declared Byzantine budget stays
+        conservative because the dead peers need not be the Byzantine ones.
+        """
+        active_after = len(self.pull_workers()) - 1
+        if active_after < 1:
+            return False
+        quorum_after = (
+            active_after - self.declared_f if self.asynchronous else active_after
+        )
+        return quorum_after >= max(1, self.gar_cls.minimum_inputs(self.declared_f))
+
+    def _declare_dead(self, round_index: int, peer: str, reason: str, detection) -> bool:
+        if peer in self._dead:
+            return False
+        if detection is not None:
+            # Membership is owned by the detection manager: declare through
+            # its eviction path so its guard, events and trace stay the one
+            # source of truth.
+            if not detection.force_evict(round_index, peer):
+                return False
+        elif not self._may_declare_dead(peer):
+            return False
+        self._dead[peer] = round_index
+        return True
+
+    # ------------------------------------------------------------------ #
+    # End-of-round classification
+    # ------------------------------------------------------------------ #
+    def finish_round(self, round_index: int, trace=None, detection=None) -> Optional[Dict[str, Any]]:
+        """Classify every peer and emit this round's health payload.
+
+        Returns ``None`` when the detector saw nothing this round (no
+        observations, no supervisor events, no pending declarations) so
+        resilience-enabled-but-idle rounds do not bloat results.  Otherwise
+        the payload carries per-peer statuses and scores, the dead set and
+        the round's typed events, and — for traced runs — lands in the
+        trace under the ``"health"`` key (present only on active rounds,
+        keeping every pre-resilience golden byte-identical).
+        """
+        pending, self._pending_events = self._pending_events, []
+        requested, self._requested_dead = self._requested_dead, []
+        observed, self._observed_round = self._observed_round, False
+        if not observed and not pending and not requested:
+            return None
+
+        events: List[HealthEvent] = list(pending)
+        for peer, reason in requested:
+            if self._declare_dead(round_index, peer, reason, detection):
+                events.append(
+                    HealthEvent(round_index, DEAD, peer, self.scores[peer], detail=reason)
+                )
+
+        for name in self.roster:
+            previous = self._status[name]
+            if name in self._dead:
+                status = DEAD
+            elif self.scores[name] >= self.dead_after:
+                if self._declare_dead(round_index, name, "accrual", detection):
+                    status = DEAD
+                else:
+                    status = SUSPECT  # guard blocked: down-weight, keep pulling
+            elif self.scores[name] >= self.suspect_after:
+                status = SUSPECT
+            else:
+                status = HEALTHY
+            if status != previous:
+                action = status if status != HEALTHY else "recovered"
+                events.append(HealthEvent(round_index, action, name, self.scores[name]))
+            self._status[name] = status
+
+        # Liveness evidence for the reputation book: an unresponsive peer is
+        # down-weighted in aggregation even before (or without) eviction.
+        if detection is not None:
+            book = detection.book
+            for name in self.roster:
+                if self._status[name] in (SUSPECT, DEAD) and name in book.scores:
+                    book.scores[name] = max(
+                        book.scores[name],
+                        float(min(self.scores[name], book.evict_threshold)),
+                    )
+
+        self.events.extend(events)
+        payload: Dict[str, Any] = {
+            "statuses": {name: self._status[name] for name in self.roster},
+            "scores": {name: round(float(self.scores[name]), 6) for name in self.roster},
+            "dead": list(self.dead),
+            "events": [event.to_dict() for event in events],
+        }
+        self.last_payload = payload
+        if trace is not None:
+            trace.record_health(
+                round_index,
+                statuses=payload["statuses"],
+                dead=payload["dead"],
+                events=payload["events"],
+            )
+        return payload
+
+
+class NodeSupervisor:
+    """Process-backend watchdog: respawn unscripted host deaths, on a budget.
+
+    ``patrol`` runs at every round boundary (before the scenario director so
+    scripted events stay authoritative).  For each supervised node:
+
+    * a host down while ``failures.is_crashed`` — a *scripted* crash — is
+      left alone: the scenario director owns that recovery;
+    * a host down without a scripted crash is an unscripted death: it is
+      respawned from its last state snapshot via
+      :meth:`~repro.network.rpc.SocketBackend.revive`, as long as fewer than
+      ``restart_budget`` respawns happened in the last ``restart_window``
+      rounds;
+    * past the budget the node is declared dead through the liveness
+      detector (quorum-safety guarded) and never respawned again;
+    * running hosts are snapshotted every ``snapshot_every`` rounds so the
+      next respawn restores near-current state.
+    """
+
+    def __init__(
+        self,
+        backend,
+        failures,
+        roster: Sequence[str],
+        *,
+        health: Optional[LivenessDetector] = None,
+        restart_budget: int = 2,
+        restart_window: int = 8,
+        snapshot_every: int = 1,
+    ) -> None:
+        if restart_budget < 0 or restart_window < 1:
+            raise ConfigurationError(
+                "NodeSupervisor needs restart_budget >= 0 and restart_window >= 1"
+            )
+        self.backend = backend
+        self.failures = failures
+        self.roster: Tuple[str, ...] = tuple(roster)
+        self.health = health
+        self.restart_budget = int(restart_budget)
+        self.restart_window = int(restart_window)
+        self.snapshot_every = max(0, int(snapshot_every))
+        self._restarts: Dict[str, List[int]] = {name: [] for name in self.roster}
+        self._given_up: set = set()
+        #: Every supervisor action across the run, in decision order.
+        self.events: List[HealthEvent] = []
+
+    # ------------------------------------------------------------------ #
+    def restarts(self, node_id: str) -> int:
+        """Total respawns of ``node_id`` so far (across all windows)."""
+        return len(self._restarts.get(node_id, ()))
+
+    def gave_up(self, node_id: str) -> bool:
+        return node_id in self._given_up
+
+    def _emit(self, event: HealthEvent) -> None:
+        self.events.append(event)
+        if self.health is not None:
+            self.health.note_event(event)
+
+    # ------------------------------------------------------------------ #
+    def patrol(self, round_index: int) -> List[HealthEvent]:
+        """One round-boundary sweep over the fleet; returns the actions taken."""
+        fired: List[HealthEvent] = []
+        for node in self.roster:
+            if node in self._given_up:
+                continue
+            if self.failures.is_crashed(node):
+                continue  # scripted crash: the director owns the recovery
+            if self.backend.is_running(node):
+                if self.snapshot_every and round_index % self.snapshot_every == 0:
+                    self.backend.snapshot_now(node)
+                continue
+            # Unscripted death.  Spend one restart from the window budget —
+            # or declare the node dead once the budget is exhausted.
+            window_start = round_index - self.restart_window
+            recent = [r for r in self._restarts[node] if r > window_start]
+            if len(recent) >= self.restart_budget:
+                self._given_up.add(node)
+                event = HealthEvent(
+                    round_index,
+                    "gave-up",
+                    node,
+                    detail=f"{len(recent)} restarts in {self.restart_window} rounds",
+                )
+                self._emit(event)
+                fired.append(event)
+                # Only workers live in the liveness roster; a given-up
+                # server is recorded as an event but cannot shrink the
+                # gradient membership.
+                if self.health is not None and node in self.health.roster:
+                    self.health.request_dead(node, reason="restart-budget")
+                continue
+            ok = self.backend.revive(node)
+            self._restarts[node].append(round_index)
+            event = HealthEvent(
+                round_index, "respawn", node, detail="ok" if ok else "failed"
+            )
+            self._emit(event)
+            fired.append(event)
+            if self.health is not None and not ok:
+                self.health.observe_refused(node)
+        return fired

@@ -199,6 +199,35 @@ class Trace:
         }
         return entry
 
+    def record_health(
+        self,
+        round_index: int,
+        *,
+        statuses: Optional[Dict[str, str]] = None,
+        dead: Sequence[str] = (),
+        events: Sequence[Dict[str, Any]] = (),
+    ) -> Dict[str, Any]:
+        """Attach one round's liveness outcome to its entry.
+
+        Like :meth:`record_detection`, the ``"health"`` key is *only* present
+        on rounds the liveness detector actually scored, so traces of
+        resilience-less runs — including every pre-resilience golden — stay
+        byte-identical.  ``statuses`` maps each peer to
+        healthy/suspect/dead, ``dead`` is the sticky dead set, ``events``
+        the round's typed transitions and supervisor actions.
+        """
+        entry = next(
+            (r for r in reversed(self.rounds) if r["round"] == int(round_index)), None
+        )
+        if entry is None:
+            entry = self.begin_round(round_index)
+        entry["health"] = {
+            "statuses": {str(k): str(v) for k, v in (statuses or {}).items()},
+            "dead": [str(name) for name in dead],
+            "events": [dict(event) for event in events],
+        }
+        return entry
+
     @property
     def diverged(self) -> bool:
         """Whether any round of this trace carries the divergence flag."""

@@ -78,12 +78,19 @@ class RoundAccountant:
         self._comm_start = 0.0
         self._messages_start = 0
         self._aggregation_time = 0.0
+        self._resilience_start = 0
 
     # ------------------------------------------------------------------ #
+    def _resilience_messages(self) -> int:
+        """Hedged + retried messages issued so far by the transport."""
+        stats = self.deployment.transport.stats
+        return stats.hedges_issued + stats.retries_issued
+
     def begin(self) -> None:
         self._comm_start = self.server.gradient_comm_time + self.server.model_comm_time
         self._messages_start = self.server.messages_exchanged
         self._aggregation_time = 0.0
+        self._resilience_start = self._resilience_messages()
 
     def add_aggregation(self, gar, dimension: Optional[int] = None) -> None:
         """Account one GAR invocation at the given dimension (defaults to the model's)."""
@@ -112,6 +119,12 @@ class RoundAccountant:
         messages = self.server.messages_exchanged - self._messages_start
         vanilla = config.deployment == "vanilla"
         comm += self.deployment.cost_model.serialization_time(dimension, messages, vanilla=vanilla)
+        resilience_messages = self._resilience_messages() - self._resilience_start
+        if resilience_messages > 0:
+            # Hedged and retried pulls are real extra traffic: charge their
+            # serialization overhead into the communication bucket.  Guarded
+            # so resilience-less rounds add literally nothing (goldens).
+            comm += self.deployment.cost_model.hedge_time(dimension, resilience_messages)
         compute = self.deployment.cost_model.compute_time(dimension, config.batch_size)
         trace = self.deployment.trace
         if trace is not None:
@@ -212,6 +225,11 @@ class RoundResult:
     #: detector is attached (the default, so detector-less results are
     #: unchanged).
     detection: Optional[Dict[str, Any]] = None
+    #: Liveness payload for this round — per-peer health statuses, the dead
+    #: set and typed health/supervisor events — or ``None`` when resilience
+    #: is off or the round saw nothing noteworthy (so resilience-less
+    #: results are unchanged).
+    health: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         data = {
@@ -226,6 +244,8 @@ class RoundResult:
         }
         if self.detection is not None:
             data["detection"] = dict(self.detection)
+        if self.health is not None:
+            data["health"] = dict(self.health)
         return data
 
 
@@ -266,7 +286,9 @@ class RoundStrategy:
 
         With a detection manager attached the pull set shrinks to the
         currently admitted workers and the quorum to the post-eviction size —
-        evicted workers cost no messages and no waiting.
+        evicted workers cost no messages and no waiting.  Without one, a
+        liveness detector that has declared peers dead shrinks the pull set
+        the same way — dead peers cost no messages and no waiting.
         """
         detection = ctx.deployment.detection
         if detection is not None:
@@ -274,6 +296,13 @@ class RoundStrategy:
                 ctx.iteration,
                 detection.pull_quorum(),
                 workers=list(detection.pull_workers()),
+            )
+        health = ctx.deployment.health
+        if health is not None and health.has_exclusions():
+            return ctx.server.get_gradient_matrix(
+                ctx.iteration,
+                health.pull_quorum(),
+                workers=list(health.pull_workers()),
             )
         return ctx.server.get_gradient_matrix(ctx.iteration, ctx.config.gradient_quorum())
 
@@ -554,6 +583,15 @@ class Session(Iterator[RoundResult]):
             detection_payload = deployment.detection.finish_round(
                 iteration, trace=deployment.trace
             )
+        health_payload = None
+        if deployment.health is not None:
+            # Classify liveness after detection scored the round: dead
+            # declarations route through the detection manager when one is
+            # attached, and the trace gains health keys only on active
+            # rounds, so resilience-less goldens stay byte-identical.
+            health_payload = deployment.health.finish_round(
+                iteration, trace=deployment.trace, detection=deployment.detection
+            )
         result = RoundResult(
             iteration=iteration,
             events=tuple(events),
@@ -565,6 +603,7 @@ class Session(Iterator[RoundResult]):
             record=record,
             diverged=diverged,
             detection=detection_payload,
+            health=health_payload,
         )
         self._last_result = result
         self._next_round += 1

@@ -49,6 +49,29 @@ class NodeCrashedError(CommunicationError):
     """The remote node targeted by an RPC has crashed."""
 
 
+class DialError(NodeCrashedError):
+    """The connect phase of an RPC failed (refused, reset, unreachable,
+    connect-timeout) — the peer never accepted the call.
+
+    Subclasses :class:`NodeCrashedError` so every existing crashed-peer
+    handler keeps working; catch this type to distinguish "could not even
+    dial" (cheap to retry against a respawning host) from "died mid-call".
+    Dial failures are retryable under a :class:`repro.network.resilience.\
+RetryPolicy` — no request reached the peer, so retrying is always safe.
+    """
+
+
+class DeadlineError(TimeoutError):
+    """The read deadline expired mid-call: the peer accepted the connection
+    but did not produce a full reply in time — slow-but-alive, not dead.
+
+    Subclasses :class:`TimeoutError` (and therefore
+    :class:`CommunicationError`); distinguishing it from
+    :class:`NodeCrashedError` is the point — a wedged or overloaded host
+    should feed the liveness detector's *suspect* path, not its *dead* path.
+    """
+
+
 class TrainingError(GarfieldError):
     """Training failed (diverged to NaN, no workers responded, ...)."""
 

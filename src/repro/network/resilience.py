@@ -1,0 +1,374 @@
+"""Resilience primitives: typed retry policies and per-round deadline budgets.
+
+The RPC layer historically used two flat constants — ``DEFAULT_CALL_TIMEOUT``
+and ``DEFAULT_SPAWN_TIMEOUT`` — and one undifferentiated failure mode: any
+socket error collapsed into :class:`~repro.exceptions.NodeCrashedError`.
+This module supplies the three building blocks the self-healing runtime is
+made of:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  *deterministic seeded jitter* (``random.Random(f"{seed}/{key}/{attempt}")``,
+  the same derivation trick the fuzz generator uses), plus the typed
+  retryable-vs-fatal classification: a refused/reset dial
+  (:class:`~repro.exceptions.DialError`) or a crashed peer retries; a
+  :class:`~repro.exceptions.SerializationError` (corrupt bytes — retrying
+  resends the same corrupt frame) and any configuration error do not.
+* :class:`DeadlineBudget` — a monotonic per-operation budget that replaces
+  the flat constants: each phase (dial, read, spawn-wait) draws a slice of
+  the remaining budget instead of getting the full 60 s over and over, so a
+  round's worst case is bounded by one number.
+* :class:`ResilienceConfig` — the validated, golden-neutral configuration
+  surface behind ``ClusterConfig.resilience`` and the ``--retry`` /
+  ``--hedge`` / ``--supervise`` CLI flags.  The default (everything off) is
+  byte-identical to the pre-resilience runtime; every golden trace stays
+  locked.
+
+See ``docs/resilience.md`` for the determinism contract and the supervisor
+state machine that consumes these pieces.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Mapping, Optional, Tuple
+
+from repro.exceptions import (
+    ConfigurationError,
+    DeadlineError,
+    DialError,
+    NodeCrashedError,
+    SerializationError,
+)
+from repro.exceptions import TimeoutError as ReproTimeoutError
+
+# --------------------------------------------------------------------- #
+# Default budgets (seconds).  The old flat constants conflated three
+# different waits; these name them.
+# --------------------------------------------------------------------- #
+#: Establishing a TCP connection to a local host is milliseconds; a dial
+#: that takes longer than this is a dead or wedged peer, not a slow one.
+DEFAULT_CONNECT_TIMEOUT = 5.0
+#: Reading one reply frame.  Generous — a reply may carry a full model —
+#: but finite and *separate* from the dial budget.
+DEFAULT_READ_DEADLINE = 60.0
+#: Waiting for a spawned node host to print its ready line.
+DEFAULT_SPAWN_DEADLINE = 60.0
+
+
+def is_retryable(error: BaseException) -> bool:
+    """The typed retryable-vs-fatal classification.
+
+    Retryable — the call may succeed if re-issued (the peer may be
+    respawning, the route healing, the overload passing):
+
+    * :class:`~repro.exceptions.DialError` — refused/reset/unreachable dial;
+      nothing reached the peer, retrying is always safe.
+    * :class:`~repro.exceptions.NodeCrashedError` — died mid-call; safe for
+      the *idempotent* calls the transport retries (pulls are pure reads).
+    * :class:`~repro.exceptions.DeadlineError` / typed timeouts — the peer
+      is slow, not wrong.
+
+    Fatal — retrying cannot help and may mask a real bug:
+
+    * :class:`~repro.exceptions.SerializationError` — the bytes are corrupt;
+      the same frame would be re-sent corrupt.
+    * :class:`~repro.exceptions.ConfigurationError` and anything else.
+    """
+    if isinstance(error, SerializationError):
+        return False
+    if isinstance(error, ConfigurationError):
+        return False
+    return isinstance(error, (DialError, NodeCrashedError, ReproTimeoutError, DeadlineError))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``delay(attempt, key)`` is a pure function of ``(seed, key, attempt)`` —
+    two runs with the same seed back off identically, so retried schedules
+    stay reproducible.  ``key`` names the operation (typically the peer id)
+    so concurrent retries against different peers de-synchronise instead of
+    thundering together.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 2.0
+    #: Jitter fraction: each delay is scaled by ``1 ± jitter * u`` with a
+    #: seeded ``u ∈ [0, 1)``.  Zero disables jitter entirely.
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("RetryPolicy needs max_attempts >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.backoff < 1.0:
+            raise ConfigurationError(
+                "RetryPolicy needs base_delay/max_delay >= 0 and backoff >= 1"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("RetryPolicy jitter must be in [0, 1]")
+
+    # ------------------------------------------------------------------ #
+    def is_retryable(self, error: BaseException) -> bool:
+        return is_retryable(error)
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based) of ``key``."""
+        if attempt < 1:
+            return 0.0
+        raw = min(self.base_delay * (self.backoff ** (attempt - 1)), self.max_delay)
+        if self.jitter <= 0.0:
+            return raw
+        u = random.Random(f"{self.seed}/{key}/{attempt}").random()
+        return raw * (1.0 - self.jitter * u)
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        *,
+        key: str = "",
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> Any:
+        """Run ``fn`` under this policy; re-raise the last error when spent.
+
+        ``on_retry(attempt, error)`` fires before each backoff sleep — the
+        transport uses it to count retried calls for the cost model.
+        """
+        last: Optional[BaseException] = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except Exception as error:  # noqa: BLE001 - classified below
+                last = error
+                if attempt >= self.max_attempts or not self.is_retryable(error):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                pause = self.delay(attempt, key)
+                if pause > 0.0:
+                    sleep(pause)
+        raise last  # pragma: no cover - loop always returns or raises
+
+
+class DeadlineBudget:
+    """A monotonic time budget shared by the phases of one operation.
+
+    Replaces "every phase gets the full flat timeout" with "the operation as
+    a whole gets ``total`` seconds; each phase draws from what is left".
+    ``clock`` is injectable for tests (defaults to ``time.monotonic``).
+    """
+
+    def __init__(self, total: float, *, clock: Callable[[], float] = time.monotonic) -> None:
+        if total <= 0:
+            raise ConfigurationError("DeadlineBudget needs a positive total")
+        self.total = float(total)
+        self._clock = clock
+        self._started = clock()
+
+    @property
+    def deadline(self) -> float:
+        return self._started + self.total
+
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        return max(0.0, self.total - self.elapsed())
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def slice(self, at_most: Optional[float] = None, *, floor: float = 1e-3) -> float:
+        """A per-phase timeout: the remaining budget, optionally capped.
+
+        Raises :class:`~repro.exceptions.DeadlineError` once the budget is
+        spent so callers fail with the typed slow-peer error instead of
+        handing a zero timeout to a socket.  ``floor`` keeps the returned
+        slice usable even when the budget is nearly gone.
+        """
+        left = self.remaining()
+        if left <= 0.0:
+            raise DeadlineError(
+                f"deadline budget of {self.total:.3f}s exhausted "
+                f"after {self.elapsed():.3f}s"
+            )
+        phase = left if at_most is None else min(left, at_most)
+        return max(phase, floor)
+
+
+# --------------------------------------------------------------------- #
+# The configuration surface
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Validated view of ``ClusterConfig.resilience``.
+
+    All three features default off; :attr:`active` gates every code path
+    that could perturb the locked golden traces (extra RNG draws, trace
+    keys, stats counters).  ``from_value`` accepts the raw dict form stored
+    on the cluster config and rejects unknown keys, mirroring
+    ``ClusterConfig.from_dict``.
+    """
+
+    #: Retry idempotent RPCs (process-backend pulls) under a RetryPolicy.
+    retry: bool = False
+    #: Hedge straggling quorum pulls to not-yet-sampled peers.
+    hedge: bool = False
+    #: Supervise process-backend hosts: respawn unscripted deaths.
+    supervise: bool = False
+    #: RetryPolicy.max_attempts when ``retry`` is on.
+    max_attempts: int = 3
+    #: Latency percentile (per peer) past which a pull counts as straggling.
+    hedge_percentile: float = 0.9
+    #: Observations required before a peer's percentile is trusted; below
+    #: this the hedger falls back to the cohort-wide view.
+    hedge_min_samples: int = 3
+    #: Supervisor restart budget: at most this many respawns of one node...
+    restart_budget: int = 2
+    #: ...per this many rounds; past it the node is declared dead.
+    restart_window: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("resilience.max_attempts must be >= 1")
+        if not 0.0 < self.hedge_percentile <= 1.0:
+            raise ConfigurationError("resilience.hedge_percentile must be in (0, 1]")
+        if self.hedge_min_samples < 1:
+            raise ConfigurationError("resilience.hedge_min_samples must be >= 1")
+        if self.restart_budget < 0:
+            raise ConfigurationError("resilience.restart_budget must be >= 0")
+        if self.restart_window < 1:
+            raise ConfigurationError("resilience.restart_window must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def active(self) -> bool:
+        """Whether any resilience feature is on (the golden-trace gate)."""
+        return self.retry or self.hedge or self.supervise
+
+    def to_dict(self) -> dict:
+        """The sparse dict form: only the flags that differ from default."""
+        default = ResilienceConfig()
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if getattr(self, f.name) != getattr(default, f.name)
+        }
+
+    @classmethod
+    def from_value(cls, value: Any) -> "ResilienceConfig":
+        """Parse the ``ClusterConfig.resilience`` field (dict, None, or self)."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if not isinstance(value, Mapping):
+            raise ConfigurationError(
+                f"resilience must be a mapping of options, got {type(value).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(value) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown resilience option(s) {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return cls(**dict(value))
+
+    def retry_policy(self, seed: int = 0) -> Optional[RetryPolicy]:
+        """The policy the backend should retry idempotent calls under."""
+        if not self.retry:
+            return None
+        return RetryPolicy(max_attempts=self.max_attempts, seed=seed)
+
+
+# --------------------------------------------------------------------- #
+# Per-peer latency percentile tracking (for hedged pulls)
+# --------------------------------------------------------------------- #
+class LatencyTracker:
+    """Tracks recent reply latencies per peer and answers percentile queries.
+
+    Purely deterministic — it only stores what the (deterministic) transport
+    observed, so hedge thresholds are identical across same-seed runs and
+    across backends.  Bounded history per peer keeps it O(1) per round.
+    """
+
+    def __init__(self, *, percentile: float = 0.9, min_samples: int = 3, window: int = 64) -> None:
+        if not 0.0 < percentile <= 1.0:
+            raise ConfigurationError("percentile must be in (0, 1]")
+        if min_samples < 1 or window < min_samples:
+            raise ConfigurationError("need window >= min_samples >= 1")
+        self.percentile = float(percentile)
+        self.min_samples = int(min_samples)
+        self.window = int(window)
+        self._samples: dict = {}
+
+    def observe(self, peer: str, latency: float) -> None:
+        history = self._samples.setdefault(peer, [])
+        history.append(float(latency))
+        if len(history) > self.window:
+            del history[: len(history) - self.window]
+
+    def samples(self, peer: str) -> Tuple[float, ...]:
+        return tuple(self._samples.get(peer, ()))
+
+    def _percentile_of(self, values) -> float:
+        # Nearest-rank percentile: ceil(p * n) - 1, clamped.
+        ordered = sorted(values)
+        rank = min(len(ordered) - 1, max(0, math.ceil(self.percentile * len(ordered)) - 1))
+        return ordered[rank]
+
+    def threshold(self, peer: str, fallback: float) -> float:
+        """The straggler threshold for ``peer``.
+
+        With enough per-peer history: that peer's latency percentile.  With
+        some cohort-wide history: the cohort percentile.  Cold start: the
+        caller's ``fallback`` (the link model's expected worst case).
+        """
+        history = self._samples.get(peer, ())
+        if len(history) >= self.min_samples:
+            return self._percentile_of(history)
+        pooled = [value for values in self._samples.values() for value in values]
+        if len(pooled) >= self.min_samples:
+            return self._percentile_of(pooled)
+        return float(fallback)
+
+    def expected(self, peer: str, fallback: float) -> float:
+        """Median expected latency of ``peer`` (for primary-set ranking)."""
+        history = self._samples.get(peer, ())
+        if len(history) >= self.min_samples:
+            ordered = sorted(history)
+            return ordered[len(ordered) // 2]
+        return float(fallback)
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When and where ``pull_many`` re-issues a straggling pull.
+
+    The transport consults :attr:`tracker` for per-peer thresholds; a
+    primary whose (simulated) latency exceeds its threshold gets a hedge to
+    the next unsampled peer.  Entirely driven by the deterministic latency
+    plan, so hedging decisions are identical across same-seed runs.
+    """
+
+    percentile: float = 0.9
+    min_samples: int = 3
+    tracker: LatencyTracker = field(default_factory=LatencyTracker)
+
+    @classmethod
+    def from_config(cls, config: "ResilienceConfig") -> "HedgePolicy":
+        return cls(
+            percentile=config.hedge_percentile,
+            min_samples=config.hedge_min_samples,
+            tracker=LatencyTracker(
+                percentile=config.hedge_percentile,
+                min_samples=config.hedge_min_samples,
+            ),
+        )

@@ -57,10 +57,19 @@ import repro.exceptions as _exceptions
 from repro.exceptions import (
     CommunicationError,
     ConfigurationError,
+    DeadlineError,
+    DialError,
     GarfieldError,
     NodeCrashedError,
 )
 from repro.network.message import RequestContext
+from repro.network.resilience import (
+    DEFAULT_CONNECT_TIMEOUT,
+    DEFAULT_READ_DEADLINE,
+    DEFAULT_SPAWN_DEADLINE,
+    DeadlineBudget,
+    RetryPolicy,
+)
 from repro.network.serialization import (
     PLAIN_FLOAT64,
     WireFormat,
@@ -87,10 +96,13 @@ VECTOR_BLOB_KEY = "__vector_blob__"
 READY_PREFIX = "GARFIELD-RPC"
 
 #: Default wall-clock budget for one RPC round trip (compute included).
-DEFAULT_CALL_TIMEOUT = 60.0
+#: Kept as a compatibility alias — the budget now lives in
+#: :mod:`repro.network.resilience` and is the *read* deadline only; the
+#: connect phase has its own (much shorter) budget.
+DEFAULT_CALL_TIMEOUT = DEFAULT_READ_DEADLINE
 
 #: Default wall-clock budget for a spawned host to report readiness.
-DEFAULT_SPAWN_TIMEOUT = 60.0
+DEFAULT_SPAWN_TIMEOUT = DEFAULT_SPAWN_DEADLINE
 
 
 # ---------------------------------------------------------------------- #
@@ -174,9 +186,17 @@ class RpcClient:
     when the pool is dry, which is what lets concurrent fan-out threads talk
     to the same host), performs one framed request/response round trip and
     returns the connection — socket and frame scratch buffer — for reuse.
-    Any connection-level failure closes the socket and surfaces as
-    :class:`NodeCrashedError` — over real sockets a dead peer *is* a refused
-    dial or a reset mid-frame.
+
+    Failures are typed by phase.  The *dial* (connect + handshake) runs under
+    ``connect_timeout`` and fails as :class:`~repro.exceptions.DialError`: a
+    refused/reset/unanswered dial means the peer is down or unreachable, and
+    dialling a local host takes milliseconds, so this budget is short.  The
+    *read* of a reply frame runs under ``timeout`` (the read deadline) and
+    fails as :class:`~repro.exceptions.DeadlineError`: the peer accepted the
+    call but is slow or wedged — alive, just late.  Everything else mid-call
+    (reset, EOF mid-frame) stays :class:`NodeCrashedError`.  Before the
+    split, one flat value served both phases, making a dead peer and a
+    slow-but-alive peer indistinguishable.
     """
 
     def __init__(
@@ -184,9 +204,13 @@ class RpcClient:
         address: Tuple[str, int],
         timeout: float = DEFAULT_CALL_TIMEOUT,
         wire_format: WireFormat = PLAIN_FLOAT64,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
     ) -> None:
         self.address = address
+        #: Read deadline: budget for the peer to produce one reply frame.
         self.timeout = timeout
+        #: Dial budget: TCP connect plus the wire-format handshake.
+        self.connect_timeout = connect_timeout
         #: Wire format requested in the hello of every new connection.
         self.wire_format = wire_format
         #: Format the server actually accepted (after downgrades); set by the
@@ -204,21 +228,26 @@ class RpcClient:
             if self._free:
                 return self._free.pop()
         try:
-            sock = socket.create_connection(self.address, timeout=self.timeout)
+            sock = socket.create_connection(self.address, timeout=self.connect_timeout)
         except OSError as exc:
-            raise NodeCrashedError(
+            raise DialError(
                 f"cannot connect to node host at {self.address}: {exc}"
             ) from exc
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         conn = _PooledConnection(sock)
         try:
+            # The handshake is part of the dial: it still runs under the
+            # (short) connect timeout inherited from create_connection.
             accepted = client_hello(sock, self.wire_format, conn.scratch)
         except (CommunicationError, OSError) as exc:
             conn.close()
-            raise NodeCrashedError(
+            raise DialError(
                 f"wire-format handshake with node host at {self.address} "
                 f"failed: {exc}"
             ) from exc
+        # From here on the socket carries framed calls: switch to the read
+        # deadline so a slow reply fails as DeadlineError, not a stuck call.
+        sock.settimeout(self.timeout)
         self.negotiated = accepted
         return conn
 
@@ -238,6 +267,17 @@ class RpcClient:
         try:
             send_frame(conn.sock, body)
             response = recv_message(conn.sock, conn.scratch)
+        except socket.timeout as exc:
+            # Must precede the OSError clause below (socket.timeout *is* an
+            # OSError): the dial succeeded and the request went out, but no
+            # full reply arrived within the read deadline — the peer is slow
+            # or wedged, not provably dead.  The connection is mid-frame and
+            # unusable; drop it.
+            conn.close()
+            raise DeadlineError(
+                f"node host at {self.address} produced no reply within "
+                f"{self.timeout:.1f}s (read deadline)"
+            ) from exc
         except (ConnectionClosed, CommunicationError, OSError) as exc:
             conn.close()
             raise NodeCrashedError(
@@ -249,6 +289,23 @@ class RpcClient:
         if response["ok"]:
             return response.get("result")
         _raise_remote(response)
+
+    def call_with_retry(
+        self,
+        message: Dict[str, Any],
+        policy: RetryPolicy,
+        *,
+        key: str = "",
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> Any:
+        """Retry :meth:`call` under ``policy`` — for idempotent requests only.
+
+        Each attempt dials fresh when the pool is dry, so a peer that was
+        respawned between attempts is picked up transparently.
+        """
+        return policy.call(
+            lambda: self.call(message), key=key or str(self.address), on_retry=on_retry
+        )
 
     def close(self) -> None:
         with self._lock:
@@ -613,6 +670,8 @@ class SocketBackend(TransportBackend):
         probe_nodes: Sequence[str] = (),
         spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
         call_timeout: float = DEFAULT_CALL_TIMEOUT,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         available, reason = process_backend_available()
         if not available:
@@ -637,11 +696,22 @@ class SocketBackend(TransportBackend):
             host_config["executor_workers"] = 0
             host_config["scenario"] = ""
             host_config["wire_format"] = "float64"
+            # Resilience is a coordinator concern: hosts must not retry,
+            # hedge or supervise their own in-process mirrors.
+            host_config["resilience"] = {}
             self._host_config = host_config
         super().__init__()  # the shared handler table: planning-side mirror
         self._probe_nodes = list(probe_nodes)
         self.spawn_timeout = spawn_timeout
         self.call_timeout = call_timeout
+        self.connect_timeout = connect_timeout
+        #: When set, idempotent pulls retry under this policy (respawning
+        #: hosts get re-dialled); control/sync calls never retry — they have
+        #: their own buffered-replay path.
+        self.retry_policy = retry_policy
+        #: Observer fired as ``on_retry(node_id, attempt, error)`` before
+        #: each retry sleep; the transport wires it to its stats counters.
+        self.on_retry: Optional[Callable[[str, int, BaseException], None]] = None
         self._hosts: Dict[str, _NodeHost] = {}
         self._workdir: Optional[Path] = None
         self._started = False
@@ -732,7 +802,7 @@ class SocketBackend(TransportBackend):
 
         fd = process.stdout.fileno()
         os.set_blocking(fd, False)
-        deadline = time.monotonic() + self.spawn_timeout
+        budget = DeadlineBudget(self.spawn_timeout)
         buffer = b""
         while b"\n" not in buffer:
             if process.poll() is not None:
@@ -740,12 +810,15 @@ class SocketBackend(TransportBackend):
                     f"node host '{host.node_id}' exited with {process.returncode} "
                     f"before becoming ready: {host.stderr_tail()}"
                 )
-            if time.monotonic() > deadline:
+            if budget.expired():
                 raise _abort(
                     f"node host '{host.node_id}' not ready within "
-                    f"{self.spawn_timeout:.0f}s: {host.stderr_tail()}"
+                    f"{budget.total:.0f}s: {host.stderr_tail()}"
                 )
-            readable, _, _ = select.select([fd], [], [], 0.05)
+            # Each select draws a short slice of whatever budget remains.
+            readable, _, _ = select.select(
+                [fd], [], [], min(0.05, max(budget.remaining(), 1e-3))
+            )
             if readable:
                 chunk = os.read(fd, 4096)
                 if chunk:
@@ -760,6 +833,7 @@ class SocketBackend(TransportBackend):
             ("127.0.0.1", host.port),
             timeout=self.call_timeout,
             wire_format=self._wire_format,
+            connect_timeout=self.connect_timeout,
         )
 
     def close(self) -> None:
@@ -830,7 +904,21 @@ class SocketBackend(TransportBackend):
             # only on an exact match, so a crash on either side simply costs
             # one absolute-encoded reply.
             message["have"] = entry[0] if entry is not None else -1
-        result = self._live_client(node_id).call(message)
+        if self.retry_policy is not None:
+            # Pulls are idempotent reads: safe to retry.  The client lookup
+            # is inside the attempt so a host respawned between attempts
+            # (by the supervisor) is re-resolved and re-dialled.
+            def _notify(attempt: int, error: BaseException) -> None:
+                if self.on_retry is not None:
+                    self.on_retry(node_id, attempt, error)
+
+            result = self.retry_policy.call(
+                lambda: self._live_client(node_id).call(message),
+                key=node_id,
+                on_retry=_notify,
+            )
+        else:
+            result = self._live_client(node_id).call(message)
         if isinstance(result, dict) and VECTOR_BLOB_KEY in result:
             reference = entry[1] if entry is not None else None
             decoded = deserialize_vector(
@@ -936,6 +1024,65 @@ class SocketBackend(TransportBackend):
             pending, host.pending = host.pending, []
         for message in pending:
             host.client.call(message)
+
+    # ------------------------------------------------------------------ #
+    # Supervisor surface (unscripted deaths — no scenario event involved)
+    # ------------------------------------------------------------------ #
+    def reap(self, node_id: str) -> None:
+        """Collect a host that died *without* a scripted crash.
+
+        A scripted ``crash`` kills, waits and closes in one step; an
+        unscripted SIGKILL (a chaos test, the OOM killer) leaves a zombie
+        process, an open stdout pipe and a client pool full of dead sockets.
+        This clears all three so a subsequent respawn starts clean.
+        """
+        with self._lock:
+            host = self._hosts.get(node_id)
+            if host is None or host.process is None or host.running:
+                return
+            host.process.wait()
+            if host.process.stdout is not None:
+                host.process.stdout.close()
+            if host.client is not None:
+                host.client.close()
+                host.client = None
+
+    def snapshot_now(self, node_id: str) -> bool:
+        """Best-effort state snapshot of a *running* host.
+
+        A SIGKILL leaves no chance to snapshot at death (unlike the scripted
+        crash path), so the supervisor checkpoints proactively: the last
+        successful snapshot is what a later :meth:`revive` restores.
+        Returns whether a snapshot was captured.
+        """
+        with self._lock:
+            host = self._hosts.get(node_id)
+            if host is None or host.client is None or not host.running:
+                return False
+            try:
+                snapshot = host.client.call({"op": "snapshot", "node": node_id})
+            except (GarfieldError, OSError):
+                return False
+            if isinstance(snapshot, (bytes, bytearray)):
+                host.snapshot = bytes(snapshot)
+                return True
+            return False
+
+    def revive(self, node_id: str) -> bool:
+        """Reap a dead host and respawn it from its last snapshot.
+
+        The supervisor's one-call recovery: reap (collect the zombie, close
+        stale fds), respawn, restore the newest snapshot, replay buffered
+        control/sync messages.  Returns whether the host came back up; a
+        failed respawn is reported, not raised — the caller owns the restart
+        budget and the declare-dead decision.
+        """
+        self.reap(node_id)
+        try:
+            self._recover(node_id)
+        except (GarfieldError, OSError):
+            return False
+        return self.is_running(node_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SocketBackend(nodes={len(self._hosts) or len(self.node_ids())}, started={self._started})"

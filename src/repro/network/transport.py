@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -48,6 +48,7 @@ import numpy as np
 from repro.exceptions import CommunicationError, NodeCrashedError, TimeoutError
 from repro.network.failures import FailureInjector
 from repro.network.message import Reply, RequestContext
+from repro.network.resilience import HedgePolicy
 from repro.network.serialization import (
     FormatLike,
     deserialize_vector,
@@ -228,6 +229,12 @@ class TransportStats:
     bytes_sent: int = 0
     pulls_issued: int = 0
     time_communicating: float = 0.0
+    #: Resilience accounting: hedge pulls issued on top of the primary wave,
+    #: the bytes their replies carried, and socket-level retry attempts.  All
+    #: three stay 0 unless the run opted into ``ClusterConfig.resilience``.
+    hedges_issued: int = 0
+    hedged_bytes: int = 0
+    retries_issued: int = 0
     per_kind_messages: Dict[str, int] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -245,12 +252,30 @@ class TransportStats:
         with self._lock:
             self.pulls_issued += 1
 
+    def note_hedge_issued(self) -> None:
+        """Count one hedge pull (a re-issued straggling/lost primary pull)."""
+        with self._lock:
+            self.hedges_issued += 1
+
+    def note_hedge_bytes(self, nbytes: int) -> None:
+        """Account the payload bytes one hedge reply carried."""
+        with self._lock:
+            self.hedged_bytes += nbytes
+
+    def note_retry(self) -> None:
+        """Count one socket-level retry attempt (SocketBackend.on_retry)."""
+        with self._lock:
+            self.retries_issued += 1
+
     def reset(self) -> None:
         with self._lock:
             self.messages_sent = 0
             self.bytes_sent = 0
             self.pulls_issued = 0
             self.time_communicating = 0.0
+            self.hedges_issued = 0
+            self.hedged_bytes = 0
+            self.retries_issued = 0
             self.per_kind_messages.clear()
 
 
@@ -398,6 +423,12 @@ class Transport:
         self.wall_time_scale = wall_time_scale
         self._rng = make_rng(seed)
         self._nodes: Dict[str, object] = {}
+        #: Opt-in resilience hooks, wired by the Controller when the config
+        #: enables them.  Both default to ``None`` so the planning, RNG
+        #: consumption and accounting of a vanilla run are untouched — this
+        #: is what keeps every pre-resilience golden trace byte-identical.
+        self.hedge: Optional[HedgePolicy] = None
+        self.health = None  # duck-typed: repro.core.health.LivenessDetector
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -608,6 +639,10 @@ class Transport:
             raise CommunicationError(
                 f"quorum {quorum} exceeds the number of destinations {len(destinations)}"
             )
+        if self.hedge is not None:
+            return self._pull_many_hedged(
+                source, destinations, kind, quorum, iteration, payload, sink
+            )
 
         # Phase 1 — plan: consume shared randomness in deterministic order.
         # Crashed peers are skipped (they simply never reply); dropped
@@ -617,6 +652,7 @@ class Transport:
             try:
                 plan = self._plan(source, destination, kind)
             except NodeCrashedError:
+                self._note_health("refused", destination)
                 continue
             if plan is not None:
                 planned.append(plan)
@@ -628,30 +664,36 @@ class Transport:
         # as lost exactly once — its own reply is discarded, nothing else.
         # Propagating the error instead would charge the crash against the
         # whole fan-out and fail rounds that still hold a full quorum.
-        tasks = [
-            (lambda p=plan: self._serve_or_lost(p, source, kind, iteration, payload))
-            for plan in planned
-        ]
-        collected: List[Optional[Reply]] = [None] * len(tasks)
-        for index, reply in self.executor.map_unordered(tasks):
-            collected[index] = reply
+        collected = self._dispatch(planned, source, kind, iteration, payload)
 
         # Phase 3 — classify each planned pull exactly once, in destination
         # order (stable regardless of the engine): lost mid-reply, silent
         # (Byzantine drop), infinitely late, or usable.  Only usable replies
         # count towards the quorum; every served reply is accounted.
         replies: List[Reply] = []
-        for reply in collected:
+        lost_mid: List[str] = []
+        silent_late: List[str] = []
+        for plan, reply in zip(planned, collected):
             if reply is None:  # peer crashed mid-reply: lost, counted once
+                lost_mid.append(plan.destination)
+                self._note_health("timeout", plan.destination)
                 continue
             self.stats.record(reply.kind, reply.nbytes, reply.latency)
             if reply.is_silent or not np.isfinite(reply.latency):
+                silent_late.append(reply.source)
+                self._note_health("timeout", reply.source)
                 continue
+            self._note_health("success", reply.source, reply.latency)
             replies.append(reply)
         if len(replies) < quorum:
-            raise TimeoutError(
-                f"only {len(replies)} usable replies for '{kind}' at iteration {iteration}, "
-                f"needed {quorum}"
+            raise self._quorum_shortfall(
+                kind,
+                iteration,
+                quorum,
+                destinations=destinations,
+                replied=[r.source for r in replies],
+                lost=lost_mid,
+                silent=silent_late,
             )
         replies.sort(key=lambda r: r.latency)
         selected = replies[:quorum]
@@ -660,6 +702,241 @@ class Transport:
         # the caller's preallocated round buffer, in arrival order — the same
         # order the legacy list-of-arrays path stacked, so aggregation sees
         # byte-identical matrices.  This is the round's single payload copy.
+        if sink is not None:
+            sink.reset()
+            for index, reply in enumerate(selected):
+                sink.write_row(index, reply.payload)
+        return selected, elapsed
+
+    # ------------------------------------------------------------------ #
+    # Fan-out plumbing shared by the plain and hedged paths
+    # ------------------------------------------------------------------ #
+    def _dispatch(
+        self,
+        planned: Sequence[_PlannedPull],
+        source: str,
+        kind: str,
+        iteration: int,
+        payload: Any,
+    ) -> List[Optional[Reply]]:
+        """Run every planned pull through the executor; index-aligned results."""
+        tasks = [
+            (lambda p=plan: self._serve_or_lost(p, source, kind, iteration, payload))
+            for plan in planned
+        ]
+        collected: List[Optional[Reply]] = [None] * len(tasks)
+        for index, reply in self.executor.map_unordered(tasks):
+            collected[index] = reply
+        return collected
+
+    def _note_health(self, outcome: str, peer: str, latency: float = 0.0) -> None:
+        """Feed one per-call outcome to the liveness detector, when attached.
+
+        Only fan-out pulls report — they run on the coordinating thread, so
+        the detector needs no locking.  Nested single pulls issued from
+        handler bodies (worker model pulls) stay silent by design.
+        """
+        health = self.health
+        if health is None:
+            return
+        if outcome == "success":
+            health.observe_success(peer, latency)
+        elif outcome == "refused":
+            health.observe_refused(peer)
+        else:
+            health.observe_timeout(peer)
+
+    @staticmethod
+    def _quorum_shortfall(
+        kind: str,
+        iteration: int,
+        quorum: int,
+        *,
+        destinations: Sequence[str],
+        replied: Sequence[str],
+        lost: Sequence[str],
+        silent: Sequence[str],
+    ) -> TimeoutError:
+        """Build the deficit-naming quorum-shortfall error.
+
+        Names every peer by category so fuzz shrink reports and operator logs
+        show *which* replies were missing, not just how many: peers that
+        replied usably, peers lost mid-reply (died while serving), peers whose
+        reply was silent or infinitely late, and peers that never replied at
+        all (crashed, partitioned, dropped, or never sampled by a hedged
+        pull).
+        """
+
+        def _fmt(names: Sequence[str]) -> str:
+            return ", ".join(names) if names else "none"
+
+        accounted = set(replied) | set(lost) | set(silent)
+        never = [d for d in destinations if d not in accounted]
+        return TimeoutError(
+            f"quorum shortfall for '{kind}' at iteration {iteration}: "
+            f"{len(replied)} usable replies, needed {quorum} "
+            f"[replied: {_fmt(replied)} | lost mid-reply: {_fmt(lost)} | "
+            f"silent/late: {_fmt(silent)} | never replied: {_fmt(never)}]"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Hedged quorum pulls
+    # ------------------------------------------------------------------ #
+    def _hedge_fallback_threshold(self) -> float:
+        """Cold-start hedge deadline, before any peer has a latency history.
+
+        A handful of base latencies plus mean jitter: generous for a healthy
+        link, far below a wedged or heavily straggling peer.
+        """
+        return 4.0 * (self.link.base_latency + self.link.jitter)
+
+    def _pull_many_hedged(
+        self,
+        source: str,
+        destinations: Sequence[str],
+        kind: str,
+        quorum: int,
+        iteration: int,
+        payload: Any,
+        sink: Optional[RoundBuffer],
+    ) -> Tuple[List[Reply], float]:
+        """Quorum pull with hedging: a quorum-sized primary wave plus hedges.
+
+        Instead of pulling every destination, the primary wave samples the
+        ``quorum`` peers with the lowest tracked typical latency (unknown
+        peers rank first, so everyone is eventually sampled).  A primary that
+        is refused, lost, silent, or straggling past its tracked latency
+        percentile gets *hedged*: the pull is re-issued to the next
+        not-yet-sampled reserve peer — or, when no reserves remain and the
+        loss was a dropped message, re-issued to the same peer (a fresh drop
+        draw).  A hedge issued at time *t* with reply latency *l* arrives at
+        effective time ``t + l``; the fastest ``quorum`` effective arrivals
+        win, so a straggler's own late reply still counts if it beats its
+        hedge.  Everything random is sampled serially on this thread (wave 1
+        in ranked order, wave 2 in need order), so hedged runs are
+        deterministic under seed across the serial/threaded/process engines.
+        """
+        tracker = self.hedge.tracker
+        fallback = self._hedge_fallback_threshold()
+        order = sorted(
+            range(len(destinations)),
+            key=lambda i: (tracker.expected(destinations[i], 0.0), i),
+        )
+        ranked = [destinations[i] for i in order]
+        primaries = ranked[:quorum]
+        reserves = ranked[quorum:]
+
+        # Wave 1 — plan the primaries (serial: the only RNG consumption).
+        outcomes: List[Tuple[str, str, Optional[_PlannedPull]]] = []
+        for destination in primaries:
+            try:
+                plan = self._plan(source, destination, kind)
+            except NodeCrashedError:
+                self._note_health("refused", destination)
+                outcomes.append((destination, "refused", None))
+                continue
+            outcomes.append((destination, "planned" if plan is not None else "lost", plan))
+        collected = self._dispatch(
+            [plan for _, _, plan in outcomes if plan is not None],
+            source,
+            kind,
+            iteration,
+            payload,
+        )
+
+        # Classify primaries and decide which pulls to hedge.  Thresholds are
+        # read before this round's latencies are folded into the tracker.
+        usable: List[Tuple[float, Reply]] = []  # (effective arrival, reply)
+        needs: List[Tuple[str, str, float]] = []  # (primary, reason, issue time)
+        lost_mid: List[str] = []
+        silent_late: List[str] = []
+        served = iter(collected)
+        for destination, status, plan in outcomes:
+            if status == "refused":
+                # A refused dial is known immediately: hedge from time zero.
+                needs.append((destination, "refused", 0.0))
+                continue
+            threshold = tracker.threshold(destination, fallback)
+            if status == "lost":
+                self._note_health("timeout", destination)
+                needs.append((destination, "lost", threshold))
+                continue
+            reply = next(served)
+            if reply is None:  # died mid-reply
+                lost_mid.append(destination)
+                self._note_health("timeout", destination)
+                needs.append((destination, "lost", threshold))
+                continue
+            self.stats.record(reply.kind, reply.nbytes, reply.latency)
+            if reply.is_silent or not np.isfinite(reply.latency):
+                silent_late.append(destination)
+                self._note_health("timeout", destination)
+                needs.append((destination, "late", threshold))
+                continue
+            self._note_health("success", destination, reply.latency)
+            tracker.observe(destination, reply.latency)
+            usable.append((reply.latency, reply))
+            if reply.latency > threshold:
+                # Straggling but alive: its reply still counts, and a hedge
+                # races it from the threshold onward.
+                needs.append((destination, "straggler", threshold))
+
+        # Wave 2 — assign reserves to needs in deterministic order and plan
+        # the hedges (the second and last RNG-consuming stretch).
+        reserve_queue = list(reserves)
+        hedge_plans: List[Tuple[str, float, _PlannedPull]] = []
+        for destination, reason, issue_at in needs:
+            if reserve_queue:
+                target = reserve_queue.pop(0)
+            elif reason == "lost":
+                target = destination  # re-issue the dropped pull itself
+            else:
+                continue  # nothing left to hedge onto
+            self.stats.note_hedge_issued()
+            try:
+                plan = self._plan(source, target, kind)
+            except NodeCrashedError:
+                self._note_health("refused", target)
+                continue
+            if plan is None:  # the hedge itself was dropped/partitioned
+                self._note_health("timeout", target)
+                continue
+            hedge_plans.append((target, issue_at, plan))
+        hedge_collected = self._dispatch(
+            [plan for _, _, plan in hedge_plans], source, kind, iteration, payload
+        )
+        for (target, issue_at, _), reply in zip(hedge_plans, hedge_collected):
+            if reply is None:
+                lost_mid.append(target)
+                self._note_health("timeout", target)
+                continue
+            self.stats.record(reply.kind, reply.nbytes, reply.latency)
+            self.stats.note_hedge_bytes(reply.nbytes)
+            if reply.is_silent or not np.isfinite(reply.latency):
+                silent_late.append(target)
+                self._note_health("timeout", target)
+                continue
+            self._note_health("success", target, reply.latency)
+            tracker.observe(target, reply.latency)
+            usable.append((issue_at + reply.latency, reply))
+
+        if len(usable) < quorum:
+            raise self._quorum_shortfall(
+                kind,
+                iteration,
+                quorum,
+                destinations=destinations,
+                replied=[reply.source for _, reply in usable],
+                lost=lost_mid,
+                silent=silent_late,
+            )
+        usable.sort(key=lambda pair: pair[0])
+        chosen = usable[:quorum]
+        elapsed = chosen[-1][0]
+        selected = [
+            reply if arrival == reply.latency else replace(reply, latency=arrival)
+            for arrival, reply in chosen
+        ]
         if sink is not None:
             sink.reset()
             for index, reply in enumerate(selected):

@@ -1,0 +1,54 @@
+"""Supervised fuzzing: generated chaos with the self-healing runtime on.
+
+``repro fuzz --supervised`` runs every generated scenario with
+``resilience={"retry": True, "hedge": True, "supervise": True}`` layered on
+top of the sampled timeline.  Two contracts are pinned here: the toggle is
+seed-stable (it must not perturb the generator's RNG, so case N has the same
+timeline with and without supervision), and a supervised campaign passes
+every invariant — including the supervised-only one, ``no-timeout-under-
+supervision``: a tolerated fault budget plus hedging plus supervision must
+never end in a quorum timeout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fuzz import INVARIANTS, ScenarioGenerator, run_campaign
+
+pytestmark = [pytest.mark.fuzz, pytest.mark.resilience]
+
+SEED = 5
+RESILIENCE = {"retry": True, "hedge": True, "supervise": True}
+
+
+class TestSupervisedToggleSeedStability:
+    def test_timelines_match_with_and_without_supervision(self):
+        plain = ScenarioGenerator(seed=SEED)
+        supervised = ScenarioGenerator(seed=SEED, supervised=True)
+        for index in range(8):
+            a, b = plain.case(index), supervised.case(index)
+            assert a.spec.events == b.spec.events
+            assert a.deployment == b.deployment and a.budget == b.budget
+            assert a.guarantees_completion == b.guarantees_completion
+            # The only difference is the injected resilience overrides.
+            plain_config = dict(b.spec.config)
+            assert plain_config.pop("resilience") == RESILIENCE
+            assert plain_config == dict(a.spec.config)
+
+    def test_plain_generator_specs_stay_resilience_free(self):
+        for index in range(8):
+            assert "resilience" not in ScenarioGenerator(seed=SEED).case(index).spec.config
+
+
+class TestSupervisedCampaign:
+    def test_invariant_is_registered(self):
+        assert "no-timeout-under-supervision" in INVARIANTS
+
+    def test_small_supervised_campaign_passes_every_invariant(self):
+        campaign = run_campaign(seed=SEED, count=10, supervised=True, shrink=False)
+        details = [
+            (report.case.name, [v.to_dict() for v in report.violations])
+            for report in campaign.failures
+        ]
+        assert campaign.passed, f"supervised campaign violations: {details}"

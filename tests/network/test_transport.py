@@ -199,7 +199,9 @@ class TestQuorumBoundary:
             "value",
             lambda ctx: (_ for _ in ()).throw(NodeCrashedError("killed mid-reply")),
         )
-        with pytest.raises(TimeoutError, match="only 5 usable"):
+        with pytest.raises(
+            TimeoutError, match=r"5 usable replies, needed 6.*lost mid-reply: node-5"
+        ):
             transport.pull_many("src", self.ALL, "value", quorum=6)
 
     def test_mid_reply_loss_does_not_cancel_sibling_tasks_under_threads(self):
