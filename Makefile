@@ -8,6 +8,9 @@
 #                         reputation book, eviction lifecycle, fuzz invariants
 #   make test-resilience— self-healing runtime surface: retry/backoff, deadline
 #                         budgets, hedged pulls, liveness detection, supervision
+#   make test-sharding  — sharded parameter-vector surface: ShardMap properties,
+#                         shard-parallel GAR equivalence, two-phase protocol,
+#                         golden byte-identity, cost-model agreement
 #   make test-backends  — transport conformance + golden equivalence across the
 #                         serial / threaded / process backends
 #   make update-golden  — explicitly re-bless the golden scenario traces
@@ -23,6 +26,9 @@
 #   make bench-resilience— self-healing runtime: straggler-storm round time
 #                         with hedging + liveness-driven membership shrink,
 #                         unscripted SIGKILL recovery; writes BENCH_resilience.json
+#   make bench-shard    — sharded aggregation: per-server resident bytes and
+#                         shard-parallel throughput vs server count at large d;
+#                         writes BENCH_shard.json and checks the acceptance bars
 #   make bench          — the full figure-reproduction benchmark suite (minutes)
 #   make fuzz-smoke     — tier-1 scenario-fuzzing smoke: fixed seeds, dozens of
 #                         generated scenarios, every invariant checked
@@ -34,7 +40,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-session test-scenarios test-detection test-resilience test-backends update-golden bench-smoke bench-hotpath bench-wire bench-detection bench-resilience bench fuzz-smoke fuzz docs-check quickstart
+.PHONY: test test-session test-scenarios test-detection test-resilience test-sharding test-backends update-golden bench-smoke bench-hotpath bench-wire bench-detection bench-resilience bench-shard bench fuzz-smoke fuzz docs-check quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -50,6 +56,9 @@ test-detection:
 
 test-resilience:
 	$(PYTHON) -m pytest -m resilience -q
+
+test-sharding:
+	$(PYTHON) -m pytest -m sharding -q
 
 test-backends:
 	$(PYTHON) -m pytest tests/network/test_wire.py tests/network/test_rpc_conformance.py \
@@ -72,6 +81,9 @@ bench-detection:
 
 bench-resilience:
 	$(PYTHON) benchmarks/bench_resilience.py
+
+bench-shard:
+	$(PYTHON) benchmarks/bench_shard.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s

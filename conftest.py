@@ -58,6 +58,12 @@ def pytest_configure(config) -> None:
         "budgets, hedged pulls, liveness detection, node supervision; "
         "filter with -m resilience, see docs/resilience.md)",
     )
+    config.addinivalue_line(
+        "markers",
+        "sharding: sharded parameter-vector test (ShardMap, shard-parallel "
+        "GARs, two-phase distance protocol, golden equivalence; filter with "
+        "-m sharding, see docs/sharding.md)",
+    )
 
 
 def pytest_collection_modifyitems(config, items) -> None:

@@ -38,6 +38,7 @@ DOCUMENTS = (
     "docs/performance.md",
     "docs/detection.md",
     "docs/resilience.md",
+    "docs/sharding.md",
 )
 
 #: Top-level directories a backtick path may point into (plus lone files).

@@ -17,6 +17,53 @@ from repro.aggregators.base import GAR, register_gar, shared_squared_distances
 from repro.exceptions import AggregationError
 
 
+def mda_select_from_distances(
+    distances: np.ndarray,
+    keep: int,
+    max_subsets: int = 2_000_000,
+    subset_batch: int = 4096,
+    batch_budget_bytes: int = 8 << 20,
+) -> np.ndarray:
+    """Indices of the minimum-diameter ``keep``-subset given pairwise distances.
+
+    ``distances`` is the (q, q) *euclidean* (already square-rooted) distance
+    matrix.  Exposed at module level so the sharded two-phase protocol can run
+    the identical subset search on coordinator-summed distances
+    (see :mod:`repro.sharding.aggregation`); enumeration order matches
+    ``itertools.combinations``, so ties resolve identically everywhere.
+    """
+    q = distances.shape[0]
+    if not 1 <= keep <= q:
+        raise AggregationError(f"cannot keep {keep} of {q} inputs")
+
+    from math import comb
+
+    if comb(q, keep) > max_subsets:
+        raise AggregationError(
+            f"MDA would need to enumerate {comb(q, keep)} subsets "
+            f"(q={q}, keep={keep}); this exceeds the safety limit"
+        )
+
+    best_subset: tuple = ()
+    best_diameter = np.inf
+    # Score subsets in vectorized batches: for a (B, keep) block of candidate
+    # index tuples, gather the (B, keep, keep) distance blocks and reduce to
+    # per-subset diameters in one shot.
+    batch_size = max(1, min(subset_batch, batch_budget_bytes // (keep * keep * 8)))
+    iterator = combinations(range(q), keep)
+    while True:
+        batch = list(islice(iterator, batch_size))
+        if not batch:
+            break
+        idx = np.asarray(batch)
+        diameters = distances[idx[:, :, None], idx[:, None, :]].max(axis=(1, 2))
+        local = int(np.argmin(diameters))
+        if diameters[local] < best_diameter:
+            best_diameter = float(diameters[local])
+            best_subset = batch[local]
+    return np.asarray(best_subset, dtype=np.intp)
+
+
 @register_gar
 class MDA(GAR):
     """Average of the minimum-diameter subset of size ``q - f``.
@@ -59,26 +106,14 @@ class MDA(GAR):
             )
 
         distances = np.sqrt(shared_squared_distances(matrix))
-        best_subset: tuple = ()
-        best_diameter = np.inf
-        # Score subsets in vectorized batches: for a (B, keep) block of
-        # candidate index tuples, gather the (B, keep, keep) distance blocks
-        # and reduce to per-subset diameters in one shot.  Enumeration order
-        # matches ``combinations``, so ties resolve to the same subset the
-        # scalar loop picked.
-        batch_size = max(1, min(self.subset_batch, self.batch_budget_bytes // (keep * keep * 8)))
-        iterator = combinations(range(q), keep)
-        while True:
-            batch = list(islice(iterator, batch_size))
-            if not batch:
-                break
-            idx = np.asarray(batch)
-            diameters = distances[idx[:, :, None], idx[:, None, :]].max(axis=(1, 2))
-            local = int(np.argmin(diameters))
-            if diameters[local] < best_diameter:
-                best_diameter = float(diameters[local])
-                best_subset = batch[local]
-        return matrix[np.asarray(best_subset)].mean(axis=0)
+        best_subset = mda_select_from_distances(
+            distances,
+            keep,
+            max_subsets=self.max_subsets,
+            subset_batch=self.subset_batch,
+            batch_budget_bytes=self.batch_budget_bytes,
+        )
+        return matrix[best_subset].mean(axis=0)
 
     def flops(self, d: int) -> float:
         from math import comb

@@ -42,12 +42,15 @@ class MSMWStrategy(RoundStrategy):
         deployment, config = ctx.deployment, ctx.config
         gar, model_gar = deployment.gradient_gar, deployment.model_gar
         honest = deployment.honest_servers
-        for server in honest:
-            gradients = server.get_gradient_matrix(ctx.iteration, config.gradient_quorum())
-            aggregated = gar(gradients=gradients, f=config.num_byzantine_workers)
-            if server is ctx.server:
-                ctx.account(gar)
-            server.update_model(aggregated)
+        if config.shards > 1:
+            self._sharded_gradient_phase(ctx, honest)
+        else:
+            for server in honest:
+                gradients = server.get_gradient_matrix(ctx.iteration, config.gradient_quorum())
+                aggregated = gar(gradients=gradients, f=config.num_byzantine_workers)
+                if server is ctx.server:
+                    ctx.account(gar)
+                server.update_model(aggregated)
 
         # Second communication round: contract the replicas' models.  Each
         # replica's round buffer holds the peer models plus its own state as
@@ -66,6 +69,49 @@ class MSMWStrategy(RoundStrategy):
         deployment.alignment.maybe_sample(
             ctx.iteration, [server.flat_parameters() for server in honest]
         )
+
+    # ------------------------------------------------------------------ #
+    def _sharded_gradient_phase(self, ctx: RoundContext, honest) -> None:
+        """The gradient round with a sharded parameter-vector (``shards > 1``).
+
+        Wire-identical to the classic phase — same targets, quorum selection
+        and RNG stream, with reply latencies still those of the full-``d``
+        payload (a worker's uplink serializes all of its slices back to back)
+        — but each replica stages replies in a
+        :class:`~repro.sharding.buffers.ShardedRoundBuffer` and aggregates
+        slice by slice, so only one ``(q, d_shard)`` block is ever resident.
+        Distance-based GARs run the two-phase partial-distance protocol,
+        whose coordination traffic is charged explicitly.  The accountant
+        sees slice-framed bytes (:meth:`RoundAccountant.add_wire_traffic`)
+        and an aggregation charge at the widest shard — the critical path of
+        ``shards`` parallel lanes.
+        """
+        from repro.sharding.aggregation import aggregate_shards, is_two_phase
+        from repro.sharding.shard_map import ShardMap
+
+        deployment, config = ctx.deployment, ctx.config
+        gar = deployment.gradient_gar
+        shard_map = ShardMap(ctx.server.dimension, config.shards)
+        two_phase = is_two_phase(config.gradient_gar)
+        for server in honest:
+            buffer = server.get_sharded_gradient_matrices(
+                ctx.iteration, shard_map, config.gradient_quorum()
+            )
+            aggregated = aggregate_shards(gar, buffer, f=config.num_byzantine_workers)
+            coord_bytes = coord_messages = 0
+            if two_phase:
+                coord_bytes, coord_messages = server.record_shard_coordination(
+                    buffer.rows, shard_map.num_shards
+                )
+            if server is ctx.server:
+                # Shard lanes aggregate in parallel; the round pays the
+                # widest lane, not the sum.
+                ctx.account(gar, dimension=shard_map.max_size)
+                reply_bytes, reply_messages = server.last_sharded_traffic
+                ctx.accountant.add_wire_traffic(
+                    reply_bytes + coord_bytes, reply_messages + coord_messages
+                )
+            server.update_model(aggregated)
 
 
 #: Deprecated imperative runner; drive a Session instead.

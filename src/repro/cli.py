@@ -120,6 +120,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="self-healing: respawn unscripted host deaths from their last "
         "state snapshot under a restart budget (process backend)",
     )
+    run_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "split the flat parameter vector into this many contiguous slices "
+            "for the msmw gradient phase (shard-parallel aggregation; "
+            "coordinate-wise GARs shard exactly, distance-based GARs run the "
+            "two-phase protocol); 1 (default) keeps the classic full-d path"
+        ),
+    )
     run_parser.add_argument("--asynchronous", action="store_true")
     run_parser.add_argument("--non-iid", action="store_true")
     run_parser.add_argument(
@@ -304,6 +315,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         executor=args.executor,
         wire_format=args.wire_format,
         detector=args.detector,
+        shards=args.shards,
         seed=args.seed,
     )
     resilience = {

@@ -99,6 +99,12 @@ class ClusterConfig:
     #: off (the default — resilience is strictly opt-in, so traces and
     #: goldens are unchanged without it).
     resilience: Dict = field(default_factory=dict)
+    #: Parameter-vector shards for the replicated-server (msmw) gradient
+    #: phase: 1 (the default) keeps the classic full-``d`` pipeline; ``k > 1``
+    #: splits the flat vector into ``k`` contiguous slices that are scattered,
+    #: staged and aggregated shard-by-shard (see :mod:`repro.sharding` and
+    #: ``docs/sharding.md``).  Strictly opt-in — traces are unchanged at 1.
+    shards: int = 1
 
     # ------------------------------------------------------------------ #
     def __post_init__(self) -> None:
@@ -169,6 +175,27 @@ class ClusterConfig:
             raise ConfigurationError(f"unknown gradient GAR '{self.gradient_gar}'")
         if self.model_gar not in GAR_REGISTRY:
             raise ConfigurationError(f"unknown model GAR '{self.model_gar}'")
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool) or self.shards < 1:
+            raise ConfigurationError("shards must be a positive integer")
+        if self.shards > 1:
+            if self.deployment != "msmw":
+                raise ConfigurationError(
+                    f"sharded aggregation (shards={self.shards}) is only supported by the "
+                    f"'msmw' deployment, not '{self.deployment}'"
+                )
+            if self.shards > self.num_servers:
+                raise ConfigurationError(
+                    f"shards={self.shards} exceeds the {self.num_servers} server replicas "
+                    "that own them (need shards <= num_servers)"
+                )
+            from repro.sharding.aggregation import supports_sharding
+
+            if not supports_sharding(self.gradient_gar):
+                raise ConfigurationError(
+                    f"gradient GAR '{self.gradient_gar}' does not shard: it is neither "
+                    "coordinate-wise nor covered by the two-phase distance protocol "
+                    "(see docs/sharding.md)"
+                )
 
         if self.deployment in ("vanilla", "aggregathor", "ssmw"):
             if self.num_servers != 1:

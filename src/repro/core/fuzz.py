@@ -185,6 +185,7 @@ class ScenarioGenerator:
         deployments: Sequence[str] = FUZZ_DEPLOYMENTS,
         budgets: Sequence[str] = BUDGETS,
         supervised: bool = False,
+        sharded: bool = False,
     ) -> None:
         if not deployments:
             raise ConfigurationError("the generator needs at least one deployment")
@@ -204,6 +205,11 @@ class ScenarioGenerator:
         #: the stronger liveness bar: tolerated-fault runs must never end in
         #: a quorum timeout.
         self.supervised = bool(supervised)
+        #: When true, msmw cases split the parameter vector into ``shards > 1``
+        #: slices (shard-parallel aggregation) — the invariant bar is
+        #: unchanged: sharded runs must satisfy exactly the invariants the
+        #: full-``d`` pipeline does.
+        self.sharded = bool(sharded)
 
     # ------------------------------------------------------------------ #
     def case(self, index: int) -> FuzzCase:
@@ -222,6 +228,11 @@ class ScenarioGenerator:
             # every (seed, index) spec of the default generator — is
             # untouched (the seed-stability fixtures lock that grammar).
             config["resilience"] = {"retry": True, "hedge": True, "supervise": True}
+        if self.sharded and deployment == "msmw":
+            # Same after-sampling discipline: the extra draw happens only on
+            # sharded generators, so the default grammar stays pinned.  Both
+            # msmw gradient GARs (median, multi-krum) shard.
+            config["shards"] = rng.randint(2, int(config["num_servers"]))
         spec = ScenarioSpec(
             name=f"fuzz-{self.seed}-{index}-{deployment}-{budget}",
             description=(
@@ -1072,6 +1083,7 @@ def run_campaign(
     deployments: Sequence[str] = FUZZ_DEPLOYMENTS,
     budgets: Sequence[str] = BUDGETS,
     supervised: bool = False,
+    sharded: bool = False,
     start: int = 0,
     norm_bound: float = UPDATE_NORM_BOUND,
     determinism: bool = True,
@@ -1091,7 +1103,8 @@ def run_campaign(
     ``repro run --scenario <file>``.
     """
     generator = ScenarioGenerator(
-        seed=seed, deployments=deployments, budgets=budgets, supervised=supervised
+        seed=seed, deployments=deployments, budgets=budgets, supervised=supervised,
+        sharded=sharded,
     )
     checker = InvariantChecker(norm_bound=norm_bound)
     result = CampaignResult(seed=seed, count=count)

@@ -79,6 +79,9 @@ class Server(Node):
         # and the norm of the last aggregated update applied.
         self.last_gradient_sources: List[str] = []
         self.last_update_norm: Optional[float] = None
+        #: (bytes, messages) of the last sharded gradient pull's slice
+        #: traffic — consumed by the round accountant's explicit-bytes path.
+        self.last_sharded_traffic = (0, 0)
 
         # Latest aggregated gradient — served to peers during the
         # decentralized *contract* step (Listing 3); exposed through the
@@ -224,6 +227,101 @@ class Server(Node):
         self.messages_exchanged += len(targets) + len(replies)
         self.last_gradient_sources = [reply.source for reply in replies]
         return buffer.matrix()
+
+    def get_sharded_gradient_matrices(
+        self,
+        iteration: int,
+        shard_map,
+        quorum: Optional[int] = None,
+        workers: Optional[List[str]] = None,
+    ):
+        """Pull worker gradients into a per-shard staging buffer (sharded tier).
+
+        Identical to :meth:`get_gradient_matrix` on the wire — same targets,
+        same quorum selection, same RNG consumption, same reply latencies (a
+        worker's uplink still serializes all of its slices, so the reply's
+        arrival time is that of the full ``d``-sized payload) — but the sink
+        is a :class:`~repro.sharding.buffers.ShardedRoundBuffer`: replies are
+        staged as row views and only one ``(q, d_shard)`` slice is ever
+        materialized at a time.  Stats bytes are charged slice-framed
+        (:meth:`~repro.network.transport.Transport.sharded_reply_nbytes`) and
+        each reply counts as ``num_shards`` messages; the slice-traffic totals
+        are exposed via :attr:`last_sharded_traffic` for the round accountant.
+
+        Returns the staged buffer; consume it with
+        :func:`repro.sharding.aggregation.aggregate_shards` before the next
+        pull of any kind reuses the workers' gradient storage.
+        """
+        from repro.sharding.buffers import ShardedRoundBuffer
+
+        if not self.workers:
+            raise ConfigurationError("this server has no workers to pull gradients from")
+        targets = list(workers) if workers is not None else self.workers
+        if not targets:
+            raise ConfigurationError("gradient pull needs at least one target worker")
+        unknown = [name for name in targets if name not in self.workers]
+        if unknown:
+            raise ConfigurationError(f"cannot pull gradients from unknown workers {unknown}")
+        quorum = len(targets) if quorum is None else quorum
+        buffer = self._round_buffers.get("gradient-sharded")
+        if (
+            not isinstance(buffer, ShardedRoundBuffer)
+            or buffer.capacity < len(self.workers)
+            or buffer.shard_map != shard_map
+        ):
+            buffer = ShardedRoundBuffer(len(self.workers), shard_map)
+            self._round_buffers["gradient-sharded"] = buffer
+        per_reply_nbytes = self.transport.sharded_reply_nbytes(shard_map)
+        replies, elapsed = self.transport.pull_many(
+            self.node_id,
+            targets,
+            "gradient",
+            quorum=quorum,
+            iteration=iteration,
+            payload=self.flat_parameters(),
+            sink=buffer,
+            record_nbytes=per_reply_nbytes,
+        )
+        self.gradient_comm_time += elapsed
+        # One full-d request per target; every reply arrives as num_shards
+        # slice messages (the scatter encoding).
+        num_shards = shard_map.num_shards
+        self.messages_exchanged += len(targets) + len(replies) * num_shards
+        self.last_sharded_traffic = (
+            len(replies) * per_reply_nbytes,
+            len(replies) * num_shards,
+        )
+        self.last_gradient_sources = [reply.source for reply in replies]
+        return buffer
+
+    def record_shard_coordination(self, quorum: int, num_shards: int) -> tuple:
+        """Account one two-phase coordination exchange; returns ``(bytes, messages)``.
+
+        ``num_shards - 1`` partial ``(q, q)`` distance matrices converge on
+        the coordinator lane and ``num_shards - 1`` index broadcasts fan back
+        out, all at full float64 framing.  Everything is deterministic — the
+        latencies use zero jitter, so no RNG is consumed and the pull stream
+        stays identical to an unsharded round.  The fan-in and fan-out each
+        travel in parallel, so the simulated elapsed time charged is one
+        partial-matrix hop plus one broadcast hop.
+        """
+        from repro.network.serialization import serialized_nbytes
+
+        if num_shards <= 1 or quorum <= 0:
+            return 0, 0
+        partial = serialized_nbytes(quorum * quorum)
+        indices = serialized_nbytes(quorum)
+        total = 0
+        messages = 0
+        for nbytes in (partial, indices):
+            latency = self.transport.link.latency_from_jitter(0.0, nbytes)
+            for _ in range(num_shards - 1):
+                self.transport.stats.record("shard-coordination", nbytes, latency)
+                total += nbytes
+                messages += 1
+            self.gradient_comm_time += latency
+        self.messages_exchanged += messages
+        return total, messages
 
     def get_gradients(self, iteration: int, quorum: Optional[int] = None) -> List[np.ndarray]:
         """Pull gradient estimates from the workers; return the fastest ``quorum``.

@@ -79,6 +79,8 @@ class RoundAccountant:
         self._messages_start = 0
         self._aggregation_time = 0.0
         self._resilience_start = 0
+        self._explicit_bytes = 0
+        self._explicit_messages = 0
 
     # ------------------------------------------------------------------ #
     def _resilience_messages(self) -> int:
@@ -91,6 +93,20 @@ class RoundAccountant:
         self._messages_start = self.server.messages_exchanged
         self._aggregation_time = 0.0
         self._resilience_start = self._resilience_messages()
+        self._explicit_bytes = 0
+        self._explicit_messages = 0
+
+    def add_wire_traffic(self, nbytes: int, messages: int) -> None:
+        """Declare ``messages`` of this round's traffic as exactly ``nbytes``.
+
+        By default :meth:`end` charges every exchanged message at the full
+        model dimension.  Sharded rounds move most bytes as slice-sized
+        messages plus small coordination frames; the strategy reports those
+        through this hook so serialization is charged on the bytes actually
+        framed, while any remaining (implicit) messages still pay full-``d``.
+        """
+        self._explicit_bytes += int(nbytes)
+        self._explicit_messages += int(messages)
 
     def add_aggregation(self, gar, dimension: Optional[int] = None) -> None:
         """Account one GAR invocation at the given dimension (defaults to the model's)."""
@@ -118,7 +134,12 @@ class RoundAccountant:
         comm = (self.server.gradient_comm_time + self.server.model_comm_time) - self._comm_start
         messages = self.server.messages_exchanged - self._messages_start
         vanilla = config.deployment == "vanilla"
-        comm += self.deployment.cost_model.serialization_time(dimension, messages, vanilla=vanilla)
+        implicit = messages - self._explicit_messages
+        comm += self.deployment.cost_model.serialization_time(dimension, implicit, vanilla=vanilla)
+        if self._explicit_messages > 0:
+            comm += self.deployment.cost_model.serialization_time_for_bytes(
+                self._explicit_bytes, self._explicit_messages, vanilla=vanilla
+            )
         resilience_messages = self._resilience_messages() - self._resilience_start
         if resilience_messages > 0:
             # Hedged and retried pulls are real extra traffic: charge their

@@ -8,12 +8,13 @@ on the model state included in the request.
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.core.node import Node
 from repro.datasets.loader import DataLoader
+from repro.exceptions import TrainingError
 from repro.datasets.synthetic import Dataset
 from repro.network.cost import CPU, CostModel, Device, TENSORFLOW, FrameworkProfile
 from repro.network.message import RequestContext
@@ -140,6 +141,25 @@ class Worker(Node):
         The caller owns the returned array (snapshot semantics).
         """
         return np.array(self._estimate_gradient(flat_model))
+
+    def scatter_slices(self, shard_map) -> List[np.ndarray]:
+        """Per-shard read-only views of the last served gradient, in shard order.
+
+        The sharded scatter path: each slice is a zero-copy view into this
+        worker's (cached) gradient buffer, contiguous by construction, so the
+        wire codec's memoryview-splicing fast path frames each shard without
+        copying.  ``shard_map`` is duck-typed (iterable of ``(shard, slice)``
+        pairs); valid until the next gradient estimate overwrites the buffer.
+        """
+        with self._serve_lock:
+            gradient = self._cached_gradient
+            if gradient is None:
+                raise TrainingError(
+                    "no gradient has been served yet; scatter_slices() views the "
+                    "gradient computed for the current iteration's pull"
+                )
+            flat = np.asarray(gradient).reshape(-1)
+            return [flat[sl] for _, sl in shard_map]
 
     # ------------------------------------------------------------------ #
     def _serve_gradient(self, context: RequestContext) -> Optional[np.ndarray]:

@@ -196,12 +196,63 @@ class CostModel:
         nothing; Garfield on PyTorch operates on tensors directly (no context
         switch) but still copies; Garfield on TensorFlow pays both.
         """
+        return self.serialization_time_for_bytes(
+            num_messages * self.message_bytes(dimension), num_messages, vanilla=vanilla
+        )
+
+    def serialization_time_for_bytes(
+        self, total_bytes: int, num_messages: int, vanilla: bool = False
+    ) -> float:
+        """Serialization + context-switch time for an explicit byte total.
+
+        The general form of :meth:`serialization_time` (which delegates here
+        with ``num_messages x message_bytes``, float-identically): sharded
+        rounds charge their exact slice-framed and coordination bytes through
+        this path instead of pretending every message was model-sized.
+        """
         if vanilla or num_messages == 0:
             return 0.0
-        copy_time = num_messages * self.message_bytes(dimension) / self.network.serialization_bandwidth_bytes_per_s
+        copy_time = total_bytes / self.network.serialization_bandwidth_bytes_per_s
         if self.framework.pays_serialization:
             return num_messages * self.network.context_switch_overhead + copy_time
         return 0.25 * copy_time
+
+    # ------------------------------------------------------------------ #
+    # Sharded-tier message accounting (see docs/sharding.md)
+    # ------------------------------------------------------------------ #
+    def sharded_reply_bytes(self, shard_map) -> int:
+        """Framed bytes of one reply scattered as per-shard slice messages.
+
+        The cost-model twin of
+        :meth:`repro.network.transport.Transport.sharded_reply_nbytes`: with a
+        ``wire_format`` each slice is charged its exact framed size; in
+        figure-calibration mode each slice is charged at the paper's
+        per-element width with its frame header.  The sharding cost
+        regression suite asserts the two ledgers agree byte for byte.
+        """
+        from repro.network.serialization import sharded_nbytes
+
+        if self.wire_format is not None:
+            return sharded_nbytes(shard_map, fmt=self.wire_format)
+        return sharded_nbytes(shard_map, self.network.bytes_per_element)
+
+    def shard_coordination_bytes(self, quorum: int, num_shards: int) -> tuple:
+        """``(bytes, messages)`` of one two-phase coordination exchange.
+
+        Per distance-based aggregation with ``k`` shard lanes: ``k - 1``
+        partial ``(q, q)`` squared-distance matrices converge on the
+        coordinator lane, and ``k - 1`` selected-index broadcasts (at most
+        ``q`` int64 indices each) fan back out.  Both travel at full float64
+        precision regardless of the negotiated gradient format — the
+        selection must be bitwise-equal to the unsharded rule's.  Returns
+        ``(0, 0)`` for ``k <= 1`` (and for coordinate-wise rules, which the
+        caller simply never charges).
+        """
+        if num_shards <= 1 or quorum <= 0:
+            return 0, 0
+        partial = serialized_nbytes(quorum * quorum)
+        indices = serialized_nbytes(quorum)
+        return (num_shards - 1) * (partial + indices), 2 * (num_shards - 1)
 
     def transfer_time(self, dimension: int, num_messages: int, vanilla: bool = False, on_gpu: bool = False) -> float:
         """Time to push ``num_messages`` model-sized messages through one NIC.

@@ -56,6 +56,7 @@ from repro.network.serialization import (
     serialize_vector,
     serialize_with_reconstruction,
     serialized_nbytes,
+    sharded_nbytes,
 )
 from repro.utils import make_rng
 
@@ -501,6 +502,21 @@ class Transport:
             return sum(self._payload_nbytes(item) for item in payload)
         return 128
 
+    def sharded_reply_nbytes(self, shard_map) -> int:
+        """Framed size of one reply scattered as per-shard slice messages.
+
+        Mirrors :meth:`_payload_nbytes` for a ``d``-sized vector split by a
+        :class:`~repro.sharding.shard_map.ShardMap`: the sum over shards of
+        each slice's framed size, under the same width rules (the link's
+        paper-calibrated per-element width for the plain-float64 default, the
+        negotiated format's exact framing otherwise).  This is what sharded
+        pulls pass as ``record_nbytes`` so the stats ledger charges what the
+        slice-wise codec actually frames.
+        """
+        if self.wire_format.is_plain_float64:
+            return sharded_nbytes(shard_map, self.link.bytes_per_element)
+        return sharded_nbytes(shard_map, fmt=self.wire_format)
+
     def _maybe_wall_wait(self, latency: float) -> None:
         """Sleep the scaled simulated latency when wall fidelity is enabled."""
         if self.wall_time_scale > 0 and np.isfinite(latency):
@@ -604,6 +620,7 @@ class Transport:
         iteration: int = 0,
         payload: Any = None,
         sink: Optional[RoundBuffer] = None,
+        record_nbytes: Optional[int] = None,
     ) -> Tuple[List[Reply], float]:
         """Pull from all ``destinations`` concurrently; return the fastest ``quorum`` replies.
 
@@ -632,6 +649,13 @@ class Transport:
         reply's payload is additionally written into row *i* of the buffer,
         in arrival order — the zero-copy hand-off consumed by
         ``GAR.aggregate_matrix``.
+
+        ``record_nbytes`` overrides the byte count the stats ledger records
+        per served reply — sharded pulls pass the slice-framed total
+        (:meth:`sharded_reply_nbytes`) so accounting reflects the scatter
+        encoding.  Latency (and therefore arrival order, elapsed time and the
+        RNG stream) is always derived from the reply's own framed size, which
+        is what keeps sharded runs byte-identical to unsharded ones.
         """
         if quorum <= 0:
             raise CommunicationError("quorum must be positive")
@@ -641,7 +665,7 @@ class Transport:
             )
         if self.hedge is not None:
             return self._pull_many_hedged(
-                source, destinations, kind, quorum, iteration, payload, sink
+                source, destinations, kind, quorum, iteration, payload, sink, record_nbytes
             )
 
         # Phase 1 — plan: consume shared randomness in deterministic order.
@@ -678,7 +702,11 @@ class Transport:
                 lost_mid.append(plan.destination)
                 self._note_health("timeout", plan.destination)
                 continue
-            self.stats.record(reply.kind, reply.nbytes, reply.latency)
+            self.stats.record(
+                reply.kind,
+                reply.nbytes if record_nbytes is None else record_nbytes,
+                reply.latency,
+            )
             if reply.is_silent or not np.isfinite(reply.latency):
                 silent_late.append(reply.source)
                 self._note_health("timeout", reply.source)
@@ -799,6 +827,7 @@ class Transport:
         iteration: int,
         payload: Any,
         sink: Optional[RoundBuffer],
+        record_nbytes: Optional[int] = None,
     ) -> Tuple[List[Reply], float]:
         """Quorum pull with hedging: a quorum-sized primary wave plus hedges.
 
@@ -867,7 +896,11 @@ class Transport:
                 self._note_health("timeout", destination)
                 needs.append((destination, "lost", threshold))
                 continue
-            self.stats.record(reply.kind, reply.nbytes, reply.latency)
+            self.stats.record(
+                reply.kind,
+                reply.nbytes if record_nbytes is None else record_nbytes,
+                reply.latency,
+            )
             if reply.is_silent or not np.isfinite(reply.latency):
                 silent_late.append(destination)
                 self._note_health("timeout", destination)
@@ -910,8 +943,9 @@ class Transport:
                 lost_mid.append(target)
                 self._note_health("timeout", target)
                 continue
-            self.stats.record(reply.kind, reply.nbytes, reply.latency)
-            self.stats.note_hedge_bytes(reply.nbytes)
+            recorded = reply.nbytes if record_nbytes is None else record_nbytes
+            self.stats.record(reply.kind, recorded, reply.latency)
+            self.stats.note_hedge_bytes(recorded)
             if reply.is_silent or not np.isfinite(reply.latency):
                 silent_late.append(target)
                 self._note_health("timeout", target)

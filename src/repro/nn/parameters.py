@@ -108,6 +108,21 @@ class FlatParameterView:
         """The gradient as one flat vector — a read-only view, no copy."""
         return self._grad_ro
 
+    def parameter_slices(self, shard_map) -> List[np.ndarray]:
+        """Per-shard read-only views of the model state, in shard order.
+
+        ``shard_map`` is anything iterable as ``(shard, slice)`` pairs over a
+        contiguous split of ``dimension`` — duck-typed so this module stays
+        free of a :mod:`repro.sharding` import.  Views of a contiguous flat
+        vector stay contiguous, so each slice feeds the wire codec's
+        memoryview-splicing fast path with zero copies.
+        """
+        return [self._data_ro[sl] for _, sl in shard_map]
+
+    def gradient_slices(self, shard_map) -> List[np.ndarray]:
+        """Per-shard read-only views of the gradient, in shard order (no copy)."""
+        return [self._grad_ro[sl] for _, sl in shard_map]
+
     # ------------------------------------------------------------------ #
     # Vectorized writers
     # ------------------------------------------------------------------ #

@@ -1,0 +1,117 @@
+"""Per-shard round buffers: bounded-memory staging for sharded aggregation.
+
+The unsharded hot path copies every selected reply into one preallocated
+``(q, d)`` :class:`repro.network.transport.RoundBuffer` and hands the GAR a
+read-only matrix view.  A shard owner must never materialize more than its
+``(q, d_shard)`` slice, so :class:`ShardedRoundBuffer` replaces the full
+matrix with:
+
+* a row table of reply payload *views* (zero-copy — in-process delivery hands
+  the worker's own flat-gradient view across, and the socket backend hands the
+  freshly decoded reply array; neither is duplicated here), and
+* one reusable ``(capacity, max_shard)`` backing block into which
+  :meth:`materialize` copies a single shard's slice columns on demand.
+
+Aggregation then walks the shards one at a time — materialize, aggregate,
+write the output slice, reuse the block — so the peak resident gradient bytes
+per owner are ``capacity * max_shard * 8`` instead of ``capacity * d * 8``,
+the ≈ ``1/num_shards`` contract checked by ``tests/test_bench_shard.py`` and
+``benchmarks/bench_shard.py``.
+
+It implements the same sink protocol :meth:`Transport.pull_many` drives
+(``reset`` / ``write_row``), so the scatter phase is unchanged: replies land
+in arrival order, exactly the row order the unsharded matrix would have.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import CommunicationError
+from repro.sharding.shard_map import ShardMap
+
+
+class ShardedRoundBuffer:
+    """Reply staging that only ever materializes one ``(q, d_shard)`` slice."""
+
+    def __init__(self, capacity: int, shard_map: ShardMap) -> None:
+        if capacity <= 0:
+            raise CommunicationError("ShardedRoundBuffer needs positive capacity")
+        self.capacity = capacity
+        self.shard_map = shard_map
+        self.dimension = shard_map.dimension
+        self._rows: List[Optional[np.ndarray]] = [None] * capacity
+        self._count = 0
+        # One reusable staging block sized for the widest shard; successive
+        # materialize() calls overwrite it, which is the whole point.
+        self._backing = np.empty((capacity, shard_map.max_size), dtype=np.float64)
+        self._materialized: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Sink protocol (driven by Transport.pull_many)
+    # ------------------------------------------------------------------ #
+    @property
+    def rows(self) -> int:
+        return self._count
+
+    def reset(self) -> None:
+        """Recycle for a new round: drop the row views and the staged slice."""
+        for index in range(self._count):
+            self._rows[index] = None
+        self._count = 0
+        self._materialized = None
+
+    def write_row(self, index: int, vector) -> None:
+        """Record one reply payload by reference (no copy happens here)."""
+        if not 0 <= index < self.capacity:
+            raise CommunicationError(
+                f"row {index} out of range for a {self.capacity}-row sharded buffer"
+            )
+        row = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if row.size != self.dimension:
+            raise CommunicationError(
+                f"reply of dimension {row.size} does not fit a sharded buffer of "
+                f"dimension {self.dimension}"
+            )
+        self._rows[index] = row
+        self._count = max(self._count, index + 1)
+        self._materialized = None
+
+    # ------------------------------------------------------------------ #
+    # Shard-at-a-time consumption
+    # ------------------------------------------------------------------ #
+    def materialize(self, shard: int) -> np.ndarray:
+        """Copy shard ``shard``'s slice of every row into the staging block.
+
+        Returns a read-only ``(rows, d_shard)`` view of the block.  The view
+        is only valid until the next :meth:`materialize` or :meth:`reset` —
+        the block is shared by all shards, which is what bounds the memory.
+        """
+        if self._count == 0:
+            raise CommunicationError("no replies staged; pull before materializing")
+        sl = self.shard_map.slice_for(shard)
+        width = sl.stop - sl.start
+        block = self._backing[: self._count, :width]
+        if self._materialized != shard:
+            block.setflags(write=True)
+            for index in range(self._count):
+                row = self._rows[index]
+                if row is None:
+                    raise CommunicationError(f"row {index} was never written this round")
+                block[index, :] = row[sl]
+            self._materialized = shard
+        block.setflags(write=False)
+        return block
+
+    @property
+    def resident_nbytes(self) -> int:
+        """Bytes of the staging block — the owner's peak resident gradient buffer."""
+        return int(self._backing.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedRoundBuffer(capacity={self.capacity}, "
+            f"shards={self.shard_map.num_shards}, rows={self._count})"
+        )

@@ -1,0 +1,64 @@
+"""Sharded fuzzing: generated msmw chaos with ``shards > 1``.
+
+Two contracts, mirroring the supervised toggle:
+
+* seed-stability — ``ScenarioGenerator(sharded=True)`` draws the shard count
+  *after* every existing draw, so case N has the exact same timeline, cluster
+  shape and events as the default generator (the pinned seed-stability
+  fixtures stay untouched);
+* same invariant bar — a sharded campaign passes every invariant the
+  full-``d`` pipeline is held to: exact quorums, bounded norms, liveness
+  under tolerated budgets, typed failures beyond them, and byte-identical
+  replays (serial rerun, cross-executor, pause/resume).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fuzz import ScenarioGenerator, run_campaign
+
+pytestmark = [pytest.mark.fuzz, pytest.mark.sharding]
+
+SEED = 11
+
+
+class TestShardedToggleSeedStability:
+    def test_timelines_match_with_and_without_sharding(self):
+        plain = ScenarioGenerator(seed=SEED, deployments=("msmw",))
+        sharded = ScenarioGenerator(seed=SEED, deployments=("msmw",), sharded=True)
+        for index in range(8):
+            a, b = plain.case(index), sharded.case(index)
+            assert a.spec.events == b.spec.events
+            assert a.budget == b.budget and a.margin == b.margin
+            config = dict(b.spec.config)
+            shards = config.pop("shards")
+            assert 2 <= shards <= int(config["num_servers"])
+            assert config == dict(a.spec.config)
+
+    def test_plain_generator_specs_stay_shard_free(self):
+        generator = ScenarioGenerator(seed=SEED, deployments=("msmw",))
+        for index in range(8):
+            assert "shards" not in generator.case(index).spec.config
+
+    def test_non_msmw_deployments_are_never_sharded(self):
+        generator = ScenarioGenerator(seed=SEED, sharded=True)
+        seen = set()
+        for index in range(10):
+            case = generator.case(index)
+            seen.add(case.deployment)
+            if case.deployment != "msmw":
+                assert "shards" not in case.spec.config
+        assert "msmw" in seen
+
+
+class TestShardedCampaign:
+    def test_small_sharded_campaign_passes_every_invariant(self):
+        campaign = run_campaign(
+            seed=SEED, count=8, deployments=("msmw",), sharded=True, shrink=False
+        )
+        details = [
+            (report.case.name, [v.to_dict() for v in report.violations])
+            for report in campaign.failures
+        ]
+        assert campaign.passed, f"sharded campaign violations: {details}"
